@@ -1,0 +1,101 @@
+// Command mccio-bench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	mccio-bench -experiment all            # Table 1 + Figures 6,7,8 + ablations
+//	mccio-bench -experiment fig7 -scale 0.25
+//	mccio-bench -experiment fig8 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | all")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
+		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
+		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var tables []*bench.Table
+	runFig := func(name string, f func(bench.Options) (*bench.Table, []bench.SweepPoint, error)) {
+		fmt.Fprintf(os.Stderr, "running %s (scale %.3g)...\n", name, *scale)
+		t, _, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+	}
+	runT := func(name string, f func(bench.Options) (*bench.Table, error)) {
+		fmt.Fprintf(os.Stderr, "running %s (scale %.3g)...\n", name, *scale)
+		t, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+	}
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	if want("table1") {
+		tables = append(tables, bench.Table1())
+	}
+	if want("fig6") {
+		runFig("fig6", bench.Fig6CollPerf)
+	}
+	if want("fig7") {
+		runFig("fig7", bench.Fig7IOR120)
+	}
+	if want("fig8") {
+		runFig("fig8", bench.Fig8IOR1080)
+	}
+	if want("ablation") {
+		runT("ablation", bench.Ablation)
+	}
+	if want("memory") {
+		runT("memory", bench.MemoryPressure)
+	}
+	if want("exascale") {
+		runT("exascale", bench.Exascale)
+	}
+	if want("stripes") {
+		runT("stripes", bench.Stripes)
+	}
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "mccio-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	for _, t := range tables {
+		t.WriteText(os.Stdout)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.WriteCSV(f)
+			io.WriteString(f, "\n")
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,99 @@
+// Command mccio-inspect prints the static plan memory-conscious
+// collective I/O computes for a workload — aggregation groups,
+// partition trees, remerges, and aggregator placements — without
+// running the simulation. Useful for understanding how the four §3
+// mechanisms respond to a pattern and a memory distribution.
+//
+// Example:
+//
+//	mccio-inspect -workload ior -procs 24 -cores 4 -mem 8MB -sigma 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/pfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "ior", "ior | collperf | random | checkpoint")
+		procs    = flag.Int("procs", 24, "number of MPI processes")
+		cores    = flag.Int("cores", 4, "cores (ranks) per node")
+		memMB    = flag.Int64("mem", 8, "nominal aggregation memory per node, MB")
+		sigmaMB  = flag.Int64("sigma", 50, "memory variance sigma, MB (0 = uniform)")
+		dim      = flag.Int64("dim", 256, "collperf cube dimension")
+		blockKB  = flag.Int64("block", 1024, "ior block size, KB")
+		segments = flag.Int("segments", 8, "ior segments")
+		seed     = flag.Uint64("seed", 42, "seed for memory sampling")
+		groups   = flag.Int("groups", 0, "target group count (0 = derive from Msggroup)")
+	)
+	flag.Parse()
+
+	if *procs%*cores != 0 {
+		fmt.Fprintf(os.Stderr, "mccio-inspect: procs %d not divisible by cores %d\n", *procs, *cores)
+		os.Exit(2)
+	}
+	nodes := *procs / *cores
+
+	var wl workload.Workload
+	switch *wlName {
+	case "ior":
+		wl = workload.IOR{Ranks: *procs, BlockSize: *blockKB << 10, Segments: *segments}
+	case "collperf":
+		wl = workload.CollPerf3D{Dims: [3]int64{*dim, *dim, *dim}, Procs: workload.Grid3(*procs), Elem: 4}
+	case "random":
+		wl = workload.Random{Ranks: *procs, SegsPerRank: 32, SegLen: 64 << 10, FileSize: int64(*procs) * 8 << 20, Seed: *seed}
+	case "checkpoint":
+		wl = workload.Checkpoint{Ranks: *procs, MeanBytes: 8 << 20, Sigma: 0.7, Seed: *seed, Align: 1 << 20}
+	default:
+		fmt.Fprintf(os.Stderr, "mccio-inspect: unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+
+	mcfg := cluster.TestbedConfig(nodes)
+	mcfg.CoresPerNode = *cores
+	mcfg.MemPerNode = *memMB << 20
+	if *sigmaMB > 0 {
+		mcfg.MemSigma = float64(*sigmaMB<<20) / float64(mcfg.MemPerNode)
+	}
+	mcfg.MemFloor = mcfg.MemPerNode / 4
+	mcfg.Seed = *seed
+	machine, err := cluster.New(mcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-inspect: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := core.DefaultOptions(mcfg, pfs.DefaultConfig())
+	opts.Memmin = mcfg.MemPerNode / 4
+	if *groups > 0 {
+		opts.Msggroup = wl.TotalBytes() / int64(*groups)
+	}
+	fmt.Printf("machine: %d nodes x %d cores; nominal %d MB/node (sigma %d MB)\n",
+		nodes, *cores, *memMB, *sigmaMB)
+	fmt.Print("node aggregation memory (MB):")
+	for _, c := range machine.MemCapacities() {
+		fmt.Printf(" %.1f", float64(c)/1e6)
+	}
+	fmt.Printf("\nworkload: %s\n", wl.Name())
+	fmt.Printf("options: Msgind=%.1fMB Msggroup=%.1fMB Nah=%d Memmin=%.1fMB\n\n",
+		float64(opts.Msgind)/1e6, float64(opts.Msggroup)/1e6, opts.Nah, float64(opts.Memmin)/1e6)
+
+	views := make([]datatype.List, *procs)
+	for r := range views {
+		views[r] = wl.View(r)
+	}
+	res, err := (core.MCCIO{Opts: opts}).Inspect(machine, views)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-inspect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Summary())
+}

@@ -1,0 +1,224 @@
+// Command mccio-sim runs a single collective I/O simulation with every
+// knob exposed as a flag and prints the phase breakdown — the tool for
+// poking at one configuration rather than sweeping a figure.
+//
+// Examples:
+//
+//	mccio-sim -strategy mccio -op write -workload ior -procs 120 -mem 8MB
+//	mccio-sim -strategy two-phase -workload collperf -dim 512 -mem 16MB
+//	mccio-sim -strategy independent -workload random -procs 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/adio"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/pfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// parseSize accepts 8MB, 512KB, 1GB, or raw bytes.
+func parseSize(s string) (int64, error) {
+	mul := int64(1)
+	up := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(up, "GB"):
+		mul, up = 1<<30, strings.TrimSuffix(up, "GB")
+	case strings.HasSuffix(up, "MB"):
+		mul, up = 1<<20, strings.TrimSuffix(up, "MB")
+	case strings.HasSuffix(up, "KB"):
+		mul, up = 1<<10, strings.TrimSuffix(up, "KB")
+	case strings.HasSuffix(up, "B"):
+		up = strings.TrimSuffix(up, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(up), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mul, nil
+}
+
+func main() {
+	var (
+		strategy  = flag.String("strategy", "mccio", "mccio | two-phase | independent")
+		op        = flag.String("op", "write", "write | read")
+		wlName    = flag.String("workload", "ior", "ior | collperf | tile2d | random | checkpoint")
+		procs     = flag.Int("procs", 120, "number of MPI processes")
+		cores     = flag.Int("cores", 12, "cores (ranks) per node")
+		memStr    = flag.String("mem", "8MB", "nominal aggregation memory per node")
+		sigmaMB   = flag.Int64("sigma", 50, "memory variance sigma in MB (0 = uniform)")
+		dim       = flag.Int64("dim", 512, "collperf cube dimension (elements)")
+		blockStr  = flag.String("block", "4MB", "ior block size")
+		segments  = flag.Int("segments", 8, "ior segments")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		verify    = flag.Bool("verify", false, "use real data and verify every byte (small runs only)")
+		msgind    = flag.String("msgind", "", "override mccio Msgind (e.g. 4MB)")
+		nah       = flag.Int("nah", 0, "override mccio Nah")
+		calibrate = flag.Bool("calibrate", false, "measure Msgind/Nah/Memmin/Msggroup on the platform (paper §3) and use them")
+		combine   = flag.Bool("combine", false, "enable the two-layer (intra-node/inter-node) exchange")
+		hints     = flag.String("hints", "", "MPI_Info-style hints (overrides -strategy); 'help' lists keys")
+	)
+	flag.Parse()
+
+	if *hints == "help" {
+		for _, k := range adio.KnownKeys() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	mem, err := parseSize(*memStr)
+	if err != nil {
+		fatal(err)
+	}
+	block, err := parseSize(*blockStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *procs%*cores != 0 {
+		fatal(fmt.Errorf("procs %d not divisible by cores/node %d", *procs, *cores))
+	}
+	nodes := *procs / *cores
+
+	var wl workload.Workload
+	switch *wlName {
+	case "ior":
+		wl = workload.IOR{Ranks: *procs, BlockSize: block, Segments: *segments, TransferSize: block}
+	case "collperf":
+		wl = workload.CollPerf3D{Dims: [3]int64{*dim, *dim, *dim}, Procs: workload.Grid3(*procs), Elem: 4}
+	case "tile2d":
+		g := workload.Grid3(*procs)
+		wl = workload.Tile2D{Rows: *dim * g[2], Cols: *dim * g[1] * g[0], TilesX: g[2], TilesY: g[1] * g[0], Elem: 4}
+	case "random":
+		wl = workload.Random{Ranks: *procs, SegsPerRank: 64, SegLen: 64 << 10, FileSize: int64(*procs) * 16 << 20, Seed: *seed}
+	case "checkpoint":
+		wl = workload.Checkpoint{Ranks: *procs, MeanBytes: 16 << 20, Sigma: 0.7, Seed: *seed, Align: 1 << 20}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wlName))
+	}
+
+	mcfg := cluster.TestbedConfig(nodes)
+	mcfg.MemPerNode = mem
+	if *sigmaMB > 0 {
+		mcfg.MemSigma = float64(*sigmaMB*cluster.MB) / float64(mem)
+	}
+	mcfg.MemFloor = mem / 4
+	mcfg.Seed = *seed
+	fcfg := pfs.DefaultConfig()
+	fcfg.JitterMean = 12e-3
+	fcfg.Seed = *seed
+
+	s := buildStrategy(*hints, *strategy, *calibrate, *combine, *msgind, *nah, mem, nodes, mcfg, fcfg, wl)
+
+	res, err := bench.RunOnce(bench.Spec{
+		Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: *verify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, wl, nodes, *cores, *memStr, *sigmaMB, *verify)
+}
+
+// buildStrategy resolves the strategy from hints (when given) or the
+// individual flags.
+func buildStrategy(hints, strategy string, calibrate, combine bool, msgind string, nah int,
+	mem int64, nodes int, mcfg cluster.Config, fcfg pfs.Config, wl workload.Workload) iolib.Collective {
+	if hints != "" {
+		h, err := adio.ParseHints(hints)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := h.BuildStrategy(mcfg, fcfg, wl.TotalBytes())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "strategy from hints: %s\n", s.Name())
+		return s
+	}
+	switch strategy {
+	case "mccio":
+		opts := core.DefaultOptions(mcfg, fcfg)
+		if calibrate {
+			rep, err := core.Calibrate(mcfg, fcfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "calibration:\n%s", rep.String())
+			opts = rep.Result
+		}
+		opts.NodeCombine = combine
+		opts.Msggroup = wl.TotalBytes() / int64(max(nodes/2, 1))
+		opts.Memmin = mem / 4
+		if msgind != "" {
+			v, err := parseSize(msgind)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Msgind = v
+		}
+		if nah > 0 {
+			opts.Nah = nah
+		}
+		fmt.Fprintf(os.Stderr, "mccio options: Msgind=%d Msggroup=%d Nah=%d Memmin=%d\n",
+			opts.Msgind, opts.Msggroup, opts.Nah, opts.Memmin)
+		return core.MCCIO{Opts: opts}
+	case "two-phase":
+		return collio.TwoPhase{CBBuffer: mem}
+	case "independent":
+		return iolib.Naive{Opts: iolib.DefaultSieve()}
+	}
+	fatal(fmt.Errorf("unknown strategy %q", strategy))
+	return nil
+}
+
+// report prints the run summary.
+func report(res trace.Result, wl workload.Workload, nodes, cores int, memStr string, sigmaMB int64, verify bool) {
+	fmt.Printf("workload:        %s\n", wl.Name())
+	fmt.Printf("platform:        %d nodes x %d cores, %s/node aggregation memory (sigma %dMB)\n",
+		nodes, cores, memStr, sigmaMB)
+	fmt.Printf("result:          %s\n", res.String())
+	fmt.Printf("bandwidth:       %.1f MB/s\n", res.BandwidthMBps())
+	fmt.Printf("rounds:          %d\n", res.Rounds)
+	fmt.Printf("aggregators:     %d in %d groups (%d remerges)\n", res.Aggregators, res.Groups, res.Remerges)
+	fmt.Printf("file I/O:        %.1f MB in %d requests\n", float64(res.BytesIO)/1e6, res.IORequests)
+	fmt.Printf("shuffle traffic: %.1f MB intra-node, %.1f MB inter-node\n",
+		float64(res.BytesShuffleIntra)/1e6, float64(res.BytesShuffleInter)/1e6)
+	fmt.Printf("phase time:      %.3f s exchange, %.3f s file I/O (summed over aggregators)\n",
+		res.ExchangeSeconds, res.IOSeconds)
+	if st := res.AggBufferStats(); st.N > 0 {
+		fmt.Printf("agg buffers:     mean %.2f MB, min %.2f, max %.2f (cv %.3f)\n",
+			st.Mean/1e6, st.Min/1e6, st.Max/1e6, st.Std/maxf(st.Mean, 1))
+	}
+	if verify {
+		fmt.Println("verification:    every byte checked OK")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mccio-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,214 @@
+// Package adio is the hint-driven front door to the collective I/O
+// strategies, modelled on ROMIO's ADIO layer: applications tune
+// collective I/O through MPI_Info-style string hints rather than
+// concrete types. The subset understood here covers ROMIO's classic
+// collective-buffering hints plus the mccio_* extensions.
+//
+//	h, _ := adio.ParseHints("collective=mccio,cb_buffer_size=8388608,mccio_nah=2")
+//	strategy, _ := h.BuildStrategy(machineCfg, fsCfg, workloadBytes)
+package adio
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/pfs"
+)
+
+// Hints is a set of MPI_Info-style key/value tuning strings.
+type Hints map[string]string
+
+// Recognized keys and their meaning.
+var knownKeys = map[string]string{
+	"collective":         "strategy selector: mccio | two_phase | independent (default mccio)",
+	"cb_buffer_size":     "collective buffer per aggregator in bytes (ROMIO key)",
+	"romio_cb_write":     "enable | disable: disable selects independent I/O (ROMIO key)",
+	"ind_rd_buffer_size": "data-sieving buffer for independent I/O in bytes (ROMIO key)",
+	"mccio_msgind":       "per-aggregator optimal message size in bytes",
+	"mccio_msggroup":     "aggregation-group data volume in bytes (0 = one group)",
+	"mccio_nah":          "max aggregators per node",
+	"mccio_memmin":       "minimum host memory to place an aggregator, bytes",
+	"mccio_node_combine": "true | false: two-layer intra/inter-node exchange",
+	"mccio_calibrate":    "true | false: measure Msgind/Nah/Memmin/Msggroup on the platform first",
+	"mccio_no_groups":    "true | false: ablation, disable group division",
+	"mccio_no_mem_aware": "true | false: ablation, disable memory-aware placement",
+	"mccio_no_remerge":   "true | false: ablation, disable remerging",
+}
+
+// KnownKeys returns the recognized hint keys with documentation, in
+// sorted order, for help output.
+func KnownKeys() []string {
+	keys := make([]string, 0, len(knownKeys))
+	for k := range knownKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s: %s", k, knownKeys[k])
+	}
+	return out
+}
+
+// ParseHints parses "k=v,k=v" (commas and/or whitespace separate
+// tuples). Unknown keys are an error — silent typos in tuning knobs are
+// the classic MPI_Info footgun.
+func ParseHints(s string) (Hints, error) {
+	h := Hints{}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' })
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("adio: malformed hint %q (want key=value)", f)
+		}
+		if _, known := knownKeys[k]; !known {
+			return nil, fmt.Errorf("adio: unknown hint %q", k)
+		}
+		if _, dup := h[k]; dup {
+			return nil, fmt.Errorf("adio: duplicate hint %q", k)
+		}
+		h[k] = v
+	}
+	return h, nil
+}
+
+func (h Hints) getInt64(key string, def int64) (int64, error) {
+	v, ok := h[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("adio: hint %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func (h Hints) getBool(key string) (bool, error) {
+	v, ok := h[key]
+	if !ok {
+		return false, nil
+	}
+	switch v {
+	case "true", "enable", "1", "yes":
+		return true, nil
+	case "false", "disable", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("adio: hint %s=%q is not a boolean", key, v)
+}
+
+// BuildStrategy resolves the hints into a concrete strategy for the
+// given platform. totalBytes sizes group division when mccio_msggroup
+// is not set explicitly.
+func (h Hints) BuildStrategy(mcfg cluster.Config, fcfg pfs.Config, totalBytes int64) (iolib.Collective, error) {
+	kind := h["collective"]
+	if kind == "" {
+		kind = "mccio"
+	}
+	if cbw, err := h.getBool("romio_cb_write"); err != nil {
+		return nil, err
+	} else if _, set := h["romio_cb_write"]; set && !cbw {
+		kind = "independent"
+	}
+
+	switch kind {
+	case "independent":
+		sieve, err := h.getInt64("ind_rd_buffer_size", iolib.DefaultSieve().BufSize)
+		if err != nil {
+			return nil, err
+		}
+		opts := iolib.DefaultSieve()
+		opts.BufSize = sieve
+		return iolib.Naive{Opts: opts}, nil
+
+	case "two_phase":
+		cb, err := h.getInt64("cb_buffer_size", 16<<20)
+		if err != nil {
+			return nil, err
+		}
+		if cb <= 0 {
+			return nil, fmt.Errorf("adio: cb_buffer_size must be positive, got %d", cb)
+		}
+		return collio.TwoPhase{CBBuffer: cb}, nil
+
+	case "mccio":
+		var opts core.Options
+		calibrate, err := h.getBool("mccio_calibrate")
+		if err != nil {
+			return nil, err
+		}
+		if calibrate {
+			rep, err := core.Calibrate(mcfg, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			opts = rep.Result
+		} else {
+			opts = core.DefaultOptions(mcfg, fcfg)
+		}
+		if totalBytes > 0 {
+			groups := int64(mcfg.Nodes / 2)
+			if groups < 1 {
+				groups = 1
+			}
+			opts.Msggroup = totalBytes / groups
+		}
+		cb, err := h.getInt64("cb_buffer_size", 0)
+		if err != nil {
+			return nil, err
+		}
+		if cb > 0 {
+			opts.Memmin = cb / 4
+		}
+		type i64 struct {
+			key string
+			dst *int64
+		}
+		for _, f := range []i64{
+			{"mccio_msgind", &opts.Msgind},
+			{"mccio_msggroup", &opts.Msggroup},
+			{"mccio_memmin", &opts.Memmin},
+		} {
+			if v, err := h.getInt64(f.key, *f.dst); err != nil {
+				return nil, err
+			} else {
+				*f.dst = v
+			}
+		}
+		if v, err := h.getInt64("mccio_nah", int64(opts.Nah)); err != nil {
+			return nil, err
+		} else {
+			opts.Nah = int(v)
+		}
+		type flags struct {
+			key string
+			dst *bool
+		}
+		for _, f := range []flags{
+			{"mccio_node_combine", &opts.NodeCombine},
+			{"mccio_no_groups", &opts.DisableGroups},
+			{"mccio_no_mem_aware", &opts.DisableMemAware},
+			{"mccio_no_remerge", &opts.DisableRemerge},
+		} {
+			v, err := h.getBool(f.key)
+			if err != nil {
+				return nil, err
+			}
+			if _, set := h[f.key]; set {
+				*f.dst = v
+			}
+		}
+		if err := opts.Validate(); err != nil {
+			return nil, err
+		}
+		return core.MCCIO{Opts: opts}, nil
+	}
+	return nil, fmt.Errorf("adio: unknown collective %q (want mccio | two_phase | independent)", kind)
+}

@@ -1,0 +1,154 @@
+package adio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/pfs"
+)
+
+func platform() (cluster.Config, pfs.Config) {
+	return cluster.TestbedConfig(4), pfs.DefaultConfig()
+}
+
+func TestParseHintsBasics(t *testing.T) {
+	h, err := ParseHints("collective=mccio, cb_buffer_size=1048576,mccio_nah=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["collective"] != "mccio" || h["cb_buffer_size"] != "1048576" || h["mccio_nah"] != "2" {
+		t.Fatalf("%+v", h)
+	}
+	if h, err := ParseHints(""); err != nil || len(h) != 0 {
+		t.Fatalf("empty hints: %v %v", h, err)
+	}
+}
+
+func TestParseHintsRejects(t *testing.T) {
+	bad := []string{
+		"collective",              // no value
+		"=x",                      // no key
+		"no_such_key=1",           // unknown
+		"mccio_nah=1,mccio_nah=2", // duplicate
+	}
+	for _, s := range bad {
+		if _, err := ParseHints(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestBuildDefaultIsMCCIO(t *testing.T) {
+	mcfg, fcfg := platform()
+	s, err := Hints{}.BuildStrategy(mcfg, fcfg, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(core.MCCIO); !ok {
+		t.Fatalf("default strategy %T", s)
+	}
+}
+
+func TestBuildTwoPhaseWithBuffer(t *testing.T) {
+	mcfg, fcfg := platform()
+	h, _ := ParseHints("collective=two_phase,cb_buffer_size=4194304")
+	s, err := h.BuildStrategy(mcfg, fcfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, ok := s.(collio.TwoPhase)
+	if !ok || tp.CBBuffer != 4<<20 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestRomioCbWriteDisableSelectsIndependent(t *testing.T) {
+	mcfg, fcfg := platform()
+	h, _ := ParseHints("romio_cb_write=disable,ind_rd_buffer_size=65536")
+	s, err := h.BuildStrategy(mcfg, fcfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := s.(iolib.Naive)
+	if !ok || n.Opts.BufSize != 65536 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestMccioOverrides(t *testing.T) {
+	mcfg, fcfg := platform()
+	h, _ := ParseHints("mccio_msgind=2097152,mccio_nah=2,mccio_memmin=524288,mccio_node_combine=true,mccio_no_groups=true")
+	s, err := h.BuildStrategy(mcfg, fcfg, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.(core.MCCIO)
+	if mc.Opts.Msgind != 2<<20 || mc.Opts.Nah != 2 || mc.Opts.Memmin != 512<<10 {
+		t.Fatalf("%+v", mc.Opts)
+	}
+	if !mc.Opts.NodeCombine || !mc.Opts.DisableGroups {
+		t.Fatalf("%+v", mc.Opts)
+	}
+}
+
+func TestMccioExplicitMsggroupNotClobbered(t *testing.T) {
+	mcfg, fcfg := platform()
+	h, _ := ParseHints("mccio_msggroup=12345678")
+	s, err := h.BuildStrategy(mcfg, fcfg, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.(core.MCCIO).Opts.Msggroup; got != 12345678 {
+		t.Fatalf("msggroup %d", got)
+	}
+}
+
+func TestBuildRejectsBadValues(t *testing.T) {
+	mcfg, fcfg := platform()
+	bad := []string{
+		"cb_buffer_size=potato",
+		"collective=two_phase,cb_buffer_size=-1",
+		"mccio_node_combine=maybe",
+		"mccio_msgind=-5",
+		"mccio_nah=0",
+	}
+	for _, s := range bad {
+		h, err := ParseHints(s)
+		if err != nil {
+			continue // rejected at parse: also fine
+		}
+		if _, err := h.BuildStrategy(mcfg, fcfg, 1<<20); err == nil {
+			t.Errorf("built strategy from %q", s)
+		}
+	}
+}
+
+func TestCalibrateHint(t *testing.T) {
+	mcfg, fcfg := platform()
+	h, _ := ParseHints("mccio_calibrate=true")
+	s, err := h.BuildStrategy(mcfg, fcfg, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.(core.MCCIO)
+	if mc.Opts.Msgind <= 0 || mc.Opts.Nah < 1 {
+		t.Fatalf("calibrated options invalid: %+v", mc.Opts)
+	}
+}
+
+func TestKnownKeysDocumented(t *testing.T) {
+	keys := KnownKeys()
+	if len(keys) != len(knownKeys) {
+		t.Fatalf("%d keys documented, want %d", len(keys), len(knownKeys))
+	}
+	joined := strings.Join(keys, "\n")
+	for _, want := range []string{"cb_buffer_size", "mccio_nah", "romio_cb_write"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s in %s", want, joined)
+		}
+	}
+}

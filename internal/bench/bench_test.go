@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/workload"
+)
+
+func TestTable1ContainsPaperRowsAndDerived(t *testing.T) {
+	tab := Table1()
+	var text strings.Builder
+	tab.WriteText(&text)
+	for _, want := range []string{
+		"System Peak", "Total Concurrency", "4444", "I/O Bandwidth",
+		"Memory per core", "Off-chip BW per core",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, text.String())
+		}
+	}
+	// The derived memory-per-core factor must be ~0.0075 (33/4444).
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "Memory per core (derived)" && row[3] == "0.01" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("derived memory-per-core factor wrong or absent")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "hello")
+	var txt, csv strings.Builder
+	tab.WriteText(&txt)
+	tab.WriteCSV(&csv)
+	if !strings.Contains(txt.String(), "note: hello") {
+		t.Fatalf("text: %s", txt.String())
+	}
+	if !strings.Contains(csv.String(), "a,bb") || !strings.Contains(csv.String(), "1,2") {
+		t.Fatalf("csv: %s", csv.String())
+	}
+}
+
+func TestMbAndPct(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{{2 << 20, "2MB"}, {512 << 10, "512KB"}, {100, "100B"}}
+	for _, c := range cases {
+		if got := mb(c.n); got != c.want {
+			t.Fatalf("mb(%d)=%q, want %q", c.n, got, c.want)
+		}
+	}
+	if got := pct(150, 100); got != "+50.0%" {
+		t.Fatalf("pct=%q", got)
+	}
+	if got := pct(1, 0); got != "n/a" {
+		t.Fatalf("pct zero base=%q", got)
+	}
+}
+
+func TestRunOnceVerifiedBothStrategiesBothOps(t *testing.T) {
+	// Small functional runs with real bytes verified end to end.
+	mcfg := testbedMachine(2, 4*cluster.MiB, SigmaBytes, 7)
+	mcfg.CoresPerNode = 2
+	fcfg := testbedFS(7)
+	fcfg.JitterMean = 0
+	wl := workload.IOR{Ranks: 4, BlockSize: 64 << 10, Segments: 8}
+	opts := mccioOptions(mcfg, fcfg, wl.TotalBytes(), 4*cluster.MiB)
+	for _, s := range []iolib.Collective{
+		collio.TwoPhase{CBBuffer: 4 * cluster.MiB},
+		core.MCCIO{Opts: opts},
+	} {
+		for _, op := range []string{"write", "read"} {
+			res, err := RunOnce(Spec{
+				Strategy: s, Op: op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: true,
+			})
+			if err != nil {
+				t.Fatalf("%s %s: %v", s.Name(), op, err)
+			}
+			if res.Bytes != wl.TotalBytes() {
+				t.Fatalf("%s %s: bytes %d", s.Name(), op, res.Bytes)
+			}
+		}
+	}
+}
+
+func TestRunOnceRejectsOversizedWorkload(t *testing.T) {
+	mcfg := testbedMachine(1, 4*cluster.MiB, 0, 1)
+	mcfg.CoresPerNode = 2
+	wl := workload.IOR{Ranks: 64, BlockSize: 1 << 10, Segments: 1}
+	_, err := RunOnce(Spec{Strategy: collio.TwoPhase{CBBuffer: 1 << 20}, Op: "write",
+		Machine: mcfg, FS: testbedFS(1), Workload: wl})
+	if err == nil {
+		t.Fatal("oversized workload accepted")
+	}
+}
+
+func TestScaledDim(t *testing.T) {
+	if d := scaledDim(1024, 1); d != 1024 {
+		t.Fatalf("scale 1: %d", d)
+	}
+	if d := scaledDim(1024, 0.125); d != 512 {
+		t.Fatalf("scale 1/8: %d", d)
+	}
+	if d := scaledDim(1024, 1e-9); d < 64 {
+		t.Fatalf("floor: %d", d)
+	}
+	if d := scaledDim(1024, 0.3); d%8 != 0 {
+		t.Fatalf("not multiple of 8: %d", d)
+	}
+}
+
+func TestComparisonSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	// A tiny sweep exercising the whole harness path.
+	old := MemSweep
+	MemSweep = []int64{1 << 20, 4 << 20}
+	defer func() { MemSweep = old }()
+	wl := workload.IOR{Ranks: 8, BlockSize: 128 << 10, Segments: 8}
+	tab, pts, err := comparisonSweep("smoke", wl, 2, Options{Scale: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("points %d rows %d", len(pts), len(tab.Rows))
+	}
+	for _, p := range pts {
+		for _, r := range []float64{p.BaseWrite.BandwidthMBps(), p.MccWrite.BandwidthMBps(),
+			p.BaseRead.BandwidthMBps(), p.MccRead.BandwidthMBps()} {
+			if r <= 0 {
+				t.Fatalf("zero bandwidth in %+v", p)
+			}
+		}
+	}
+}
+
+func TestChunkedCallsVerify(t *testing.T) {
+	// IOR's transfer-size axis: splitting one logical test into many
+	// collective calls must still move every byte correctly.
+	mcfg := testbedMachine(2, 4*cluster.MiB, SigmaBytes, 7)
+	mcfg.CoresPerNode = 2
+	fcfg := testbedFS(7)
+	fcfg.JitterMean = 0
+	wl := workload.IOR{Ranks: 4, BlockSize: 64 << 10, Segments: 8}
+	for _, calls := range []int{1, 2, 4, 16} {
+		res, err := RunOnce(Spec{
+			Strategy: core.MCCIO{Opts: mccioOptions(mcfg, fcfg, wl.TotalBytes(), 4*cluster.MiB)},
+			Op:       "write", Machine: mcfg, FS: fcfg, Workload: wl, Verify: true, Calls: calls,
+		})
+		if err != nil {
+			t.Fatalf("calls=%d: %v", calls, err)
+		}
+		if res.Bytes != wl.TotalBytes() {
+			t.Fatalf("calls=%d: bytes %d, want %d", calls, res.Bytes, wl.TotalBytes())
+		}
+	}
+}
+
+func TestMoreCallsMoreOverhead(t *testing.T) {
+	// Splitting the same data over more collective calls cannot be
+	// faster: each call pays its own planning and synchronization.
+	mcfg := testbedMachine(4, 8*cluster.MiB, SigmaBytes, 7)
+	fcfg := testbedFS(7)
+	wl := workload.IOR{Ranks: 48, BlockSize: 256 << 10, Segments: 16}
+	run := func(calls int) float64 {
+		res, err := RunOnce(Spec{
+			Strategy: collio.TwoPhase{CBBuffer: 8 * cluster.MiB},
+			Op:       "write", Machine: mcfg, FS: fcfg, Workload: wl, Calls: calls,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if one, many := run(1), run(8); many < one {
+		t.Fatalf("8 calls (%.3fs) faster than 1 call (%.3fs)", many, one)
+	}
+}
+
+func tinyOptions() Options {
+	return Options{Scale: 0.02, Seed: 7}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	tab, err := Ablation(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d ablation rows, want 8", len(tab.Rows))
+	}
+}
+
+func TestMemoryPressureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	tab, err := MemoryPressure(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestStripesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	tab, err := Stripes(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestFigureRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	old := MemSweep
+	MemSweep = []int64{4 << 20}
+	defer func() { MemSweep = old }()
+	for _, f := range []func(Options) (*Table, []SweepPoint, error){Fig6CollPerf, Fig7IOR120} {
+		tab, pts, err := f(tinyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 1 || len(pts) != 1 {
+			t.Fatalf("rows=%d pts=%d", len(tab.Rows), len(pts))
+		}
+	}
+}

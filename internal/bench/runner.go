@@ -1,0 +1,180 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Table 1, Figures 6–8) plus the
+// ablation studies DESIGN.md calls out, on the simulated testbed.
+//
+// Each experiment sweeps the aggregation memory size, runs the baseline
+// two-phase strategy and memory-conscious collective I/O on identical
+// platforms, and reports application bandwidth in MB/s — the same rows
+// the paper plots.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/iolib"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Spec is one simulation run: a strategy applied to a workload on a
+// platform.
+type Spec struct {
+	Strategy iolib.Collective
+	Op       string // "write" or "read"
+	Machine  cluster.Config
+	FS       pfs.Config
+	Workload workload.Workload
+	// Verify runs with real data and checks every byte read back
+	// (write runs are followed by a verified read). Only for small
+	// functional runs; benchmarks use phantom payloads.
+	Verify bool
+	// Calls splits each rank's view into this many consecutive chunks
+	// and issues one collective call per chunk — IOR's transfer-size
+	// axis (one MPI_File_write_all per transfer). 0 or 1 means a single
+	// call covering the whole view. Elapsed spans all calls.
+	Calls int
+}
+
+// RunOnce executes one collective operation and returns the global
+// result (bandwidth, rounds, aggregators, traffic, memory stats).
+func RunOnce(spec Spec) (trace.Result, error) {
+	nprocs := spec.Workload.NumRanks()
+	engine := simtime.NewEngine()
+	machine, err := cluster.New(spec.Machine)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if nprocs > machine.NumRanks() {
+		return trace.Result{}, fmt.Errorf("bench: workload needs %d ranks, machine has %d", nprocs, machine.NumRanks())
+	}
+	fs, err := pfs.New(spec.FS, machine)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	world, err := mpi.NewWorld(engine, machine, nprocs)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	file := iolib.Open(fs, "bench.dat")
+
+	var res trace.Result
+	var verifyErr error
+	world.Start(func(c *mpi.Comm) {
+		view := spec.Workload.View(c.Rank())
+		data := buffer.New(view.TotalBytes(), !spec.Verify)
+		if spec.Verify {
+			fillView(view, data, uint64(c.Rank()))
+		}
+		if spec.Op == "read" && spec.Verify {
+			// Seed the file so the verified read has bytes to fetch.
+			c.Barrier()
+			if err := seedFile(file, c, view, uint64(c.Rank())); err != nil && verifyErr == nil {
+				verifyErr = err
+			}
+			c.Barrier()
+		}
+		calls := spec.Calls
+		if calls < 1 {
+			calls = 1
+		}
+		if calls == 1 {
+			r := iolib.Run(spec.Strategy, spec.Op, file, c, view, data, &trace.Metrics{})
+			if c.Rank() == 0 {
+				res = r
+			}
+		} else {
+			// One collective per chunk: split the view into `calls`
+			// consecutive byte ranges, slicing the flat buffer along.
+			r := runChunked(spec, file, c, view, data, calls)
+			if c.Rank() == 0 {
+				res = r
+			}
+		}
+		if spec.Verify {
+			if err := verifyAfter(spec.Op, file, c, view, data, uint64(c.Rank())); err != nil && verifyErr == nil {
+				verifyErr = err
+			}
+		}
+	})
+	if err := engine.Run(); err != nil {
+		return trace.Result{}, err
+	}
+	if verifyErr != nil {
+		return trace.Result{}, verifyErr
+	}
+	return res, nil
+}
+
+// runChunked issues one collective call per consecutive view chunk and
+// folds the results: total bytes, summed metrics, elapsed spanning all
+// calls.
+func runChunked(spec Spec, file *iolib.File, c *mpi.Comm, view datatype.List, data buffer.Buf, calls int) trace.Result {
+	var total trace.Result
+	var bufPos int64
+	perCall := (int64(len(view)) + int64(calls) - 1) / int64(calls)
+	for i := 0; i < calls; i++ {
+		lo := int64(i) * perCall
+		hi := lo + perCall
+		if lo > int64(len(view)) {
+			lo = int64(len(view))
+		}
+		if hi > int64(len(view)) {
+			hi = int64(len(view))
+		}
+		chunk := view[lo:hi]
+		n := chunk.TotalBytes()
+		r := iolib.Run(spec.Strategy, spec.Op, file, c, chunk, data.Slice(bufPos, n), &trace.Metrics{})
+		bufPos += n
+		if c.Rank() == 0 {
+			total.Bytes += r.Bytes
+			total.Elapsed += r.Elapsed
+			total.Metrics.Merge(r.Metrics)
+			total.Strategy = r.Strategy
+			total.Op = r.Op
+		}
+	}
+	return total
+}
+
+// fillView lays the per-offset pattern into a flat view buffer.
+func fillView(view datatype.List, data buffer.Buf, tag uint64) {
+	var pos int64
+	for _, s := range view {
+		data.Slice(pos, s.Len).Fill(tag, s.Off)
+		pos += s.Len
+	}
+}
+
+// seedFile writes the rank's pattern independently before a read test.
+func seedFile(f *iolib.File, c *mpi.Comm, view datatype.List, tag uint64) error {
+	data := buffer.NewReal(view.TotalBytes())
+	fillView(view, data, tag)
+	f.WriteIndependent(c.Proc(), c.WorldRank(c.Rank()), view, data, iolib.SieveOptions{})
+	return nil
+}
+
+// verifyAfter checks the operation's bytes: after a read, the
+// destination buffer; after a write, the file contents re-read
+// independently.
+func verifyAfter(op string, f *iolib.File, c *mpi.Comm, view datatype.List, data buffer.Buf, tag uint64) error {
+	check := data
+	if op == "write" {
+		c.Barrier()
+		check = buffer.NewReal(view.TotalBytes())
+		f.ReadIndependent(c.Proc(), c.WorldRank(c.Rank()), view, check, iolib.SieveOptions{BufSize: 4 << 20})
+	}
+	var pos int64
+	for _, s := range view {
+		if i := check.Slice(pos, s.Len).Verify(tag, s.Off); i != -1 {
+			return fmt.Errorf("bench: rank %d %s verification failed in %v at byte %d", c.Rank(), op, s, i)
+		}
+		pos += s.Len
+	}
+	return nil
+}

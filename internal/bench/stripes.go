@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/trace"
+)
+
+// Stripes sweeps the file system's stripe unit — the layout axis the
+// paper's related work (resonant I/O, LACIO) optimizes against. MCCIO's
+// stripe-aligned Msg_ind means its domains stay resonant with the
+// layout as the unit changes; the baseline's offset-even domains do
+// not.
+func Stripes(o Options) (*Table, error) {
+	o = o.withDefaults()
+	const nodes = 10
+	const mem = 8 * cluster.MiB
+	wl := iorWorkload(120, o.Scale)
+	t := &Table{
+		Title:   "Stripe-unit sweep: IOR 120 procs, 8MB nominal buffer",
+		Headers: []string{"stripe", "two-phase wr MB/s", "mccio wr MB/s", "gain", "fs requests (2p/mccio)"},
+	}
+	for _, su := range []int64{256 << 10, 1 << 20, 4 << 20} {
+		fcfg := testbedFS(o.Seed)
+		fcfg.StripeUnit = su
+		mccCfg := testbedMachine(nodes, mem, SigmaBytes, o.Seed)
+		mccOpts := mccioOptions(mccCfg, fcfg, wl.TotalBytes(), mem)
+		var base, mcc trace.Result
+		for _, r := range []struct {
+			res *trace.Result
+			s   iolib.Collective
+		}{
+			{&base, collio.TwoPhase{CBBuffer: mem}},
+			{&mcc, core.MCCIO{Opts: mccOpts}},
+		} {
+			res, err := RunOnce(Spec{Strategy: r.s, Op: "write", Machine: mccCfg, FS: fcfg, Workload: wl})
+			if err != nil {
+				return nil, err
+			}
+			*r.res = res
+			o.logf("  stripes su=%s: %s", mb(su), res.String())
+		}
+		t.AddRow(mb(su),
+			fmt.Sprintf("%.1f", base.BandwidthMBps()),
+			fmt.Sprintf("%.1f", mcc.BandwidthMBps()),
+			pct(mcc.BandwidthMBps(), base.BandwidthMBps()),
+			fmt.Sprintf("%d / %d", base.IORequests, mcc.IORequests),
+		)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("workload: %s", wl.Name()))
+	return t, nil
+}

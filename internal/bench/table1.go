@@ -1,0 +1,93 @@
+package bench
+
+import "fmt"
+
+// table1Row is one line of the paper's Table 1: a system parameter in
+// 2010, its 2018 exascale projection, and the growth factor.
+type table1Row struct {
+	Name   string
+	V2010  float64
+	V2018  float64
+	Unit   string
+	factor float64 // paper's rounded factor; 0 = compute
+}
+
+// table1Data reproduces Table 1 ("Potential exascale computer design
+// and its relationship to current HPC designs", after Vetter et al.).
+var table1Data = []table1Row{
+	{"System Peak", 2e15, 1e18, "f/s", 500},
+	{"Power", 6e6, 20e6, "W", 3},
+	{"System Memory", 0.3e15, 10e15, "B", 33},
+	{"Node Performance", 0.125e12, 10e12, "f/s", 80},
+	{"Node Memory BW", 25e9, 400e9, "B/s", 16},
+	{"Node Concurrency", 12, 1000, "CPUs", 83},
+	{"Interconnect BW", 1.5e9, 50e9, "B/s", 33},
+	{"System Size (nodes)", 20e3, 1e6, "nodes", 50},
+	{"Total Concurrency", 225e3, 1e9, "", 4444},
+	{"Storage", 15e15, 300e15, "B", 20},
+	{"I/O Bandwidth", 0.2e12, 20e12, "B/s", 100},
+}
+
+// Table1 regenerates the paper's Table 1 and appends the derived rows
+// its §1 argument rests on: memory per core and off-chip bandwidth per
+// core, computed by the paper's own formula MB/(SS·NC) — which shrink
+// even as everything else grows. That shrinkage is the premise of
+// memory-conscious collective I/O.
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: potential exascale design vs 2010 HPC design",
+		Headers: []string{"parameter", "2010", "2018", "factor change"},
+	}
+	get := func(name string) table1Row {
+		for _, r := range table1Data {
+			if r.Name == name {
+				return r
+			}
+		}
+		panic("bench: missing table1 row " + name)
+	}
+	for _, r := range table1Data {
+		f := r.factor
+		if f == 0 {
+			f = r.V2018 / r.V2010
+		}
+		t.AddRow(r.Name, human(r.V2010, r.Unit), human(r.V2018, r.Unit), fmt.Sprintf("%.0f", f))
+	}
+	// Derived pressure rows.
+	memPerCore2010 := get("System Memory").V2010 / get("Total Concurrency").V2010
+	memPerCore2018 := get("System Memory").V2018 / get("Total Concurrency").V2018
+	bwPerCore2010 := get("Node Memory BW").V2010 / get("Node Concurrency").V2010
+	bwPerCore2018 := get("Node Memory BW").V2018 / get("Node Concurrency").V2018
+	t.AddRow("Memory per core (derived)", human(memPerCore2010, "B"), human(memPerCore2018, "B"),
+		fmt.Sprintf("%.2f", memPerCore2018/memPerCore2010))
+	t.AddRow("Off-chip BW per core (derived)", human(bwPerCore2010, "B/s"), human(bwPerCore2018, "B/s"),
+		fmt.Sprintf("%.2f", bwPerCore2018/bwPerCore2010))
+	t.Notes = append(t.Notes,
+		"memory-per-core factor = MB/(SS*NC) = 33/(50*83) ≈ 0.008: average memory per core drops to megabytes",
+		"both derived rows shrink while total concurrency grows 4444x — the premise of memory-conscious collective I/O")
+	return t
+}
+
+// human formats a quantity with SI prefixes.
+func human(v float64, unit string) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e18:
+		return fmt.Sprintf("%.3g E%s", v/1e18, unit)
+	case abs >= 1e15:
+		return fmt.Sprintf("%.3g P%s", v/1e15, unit)
+	case abs >= 1e12:
+		return fmt.Sprintf("%.3g T%s", v/1e12, unit)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3g G%s", v/1e9, unit)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g M%s", v/1e6, unit)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g K%s", v/1e3, unit)
+	default:
+		return fmt.Sprintf("%.3g %s", v, unit)
+	}
+}

@@ -1,0 +1,279 @@
+// Package cluster models the compute side of an HPC machine: nodes with
+// cores, a per-node memory capacity (optionally drawn from a clipped
+// normal distribution to reproduce the paper's memory-variance setup),
+// a per-node off-chip memory bus, per-node NICs, and a shared network
+// bisection.
+//
+// The cluster also keeps a memory ledger per node. Collective I/O
+// strategies allocate their aggregation buffers through the ledger, so
+// "available memory on this host" — the quantity the paper's aggregator
+// placement keys on — is a live, queryable value, and every run reports
+// per-node high-water marks.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/resource"
+	"repro/internal/stats"
+)
+
+// Config describes a machine. Bandwidths are bytes/second, latencies
+// seconds, memory sizes bytes.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+
+	// MemPerNode is the nominal memory budget available for aggregation
+	// buffers on each node. When MemSigma > 0, each node's actual
+	// capacity is drawn from Normal(MemPerNode, MemSigma*MemPerNode)
+	// clipped to [MemFloor, 2*MemPerNode]; this reproduces the paper's
+	// "memory buffer sizes ... set up as random variables following a
+	// normal distribution".
+	MemPerNode int64
+	MemSigma   float64 // σ as a fraction of MemPerNode
+	MemFloor   int64   // lower clip for sampled capacity (default: MemPerNode/16, min 64 KiB)
+
+	MemBusBW  float64 // off-chip memory bandwidth per node
+	MemBusLat float64
+
+	NICBW  float64 // injection bandwidth per node (each direction)
+	NICLat float64
+
+	BisectionBW  float64 // shared cross-machine fabric capacity
+	BisectionLat float64
+
+	IONetBW  float64 // shared link from compute fabric to the storage system
+	IONetLat float64
+
+	Seed uint64 // for memory-capacity sampling
+}
+
+// Validate fills defaults and rejects nonsensical configurations.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 || c.CoresPerNode <= 0 {
+		return fmt.Errorf("cluster: need positive Nodes and CoresPerNode, got %d×%d", c.Nodes, c.CoresPerNode)
+	}
+	if c.MemPerNode <= 0 {
+		return fmt.Errorf("cluster: MemPerNode must be positive, got %d", c.MemPerNode)
+	}
+	if c.MemSigma < 0 {
+		return fmt.Errorf("cluster: negative MemSigma %g", c.MemSigma)
+	}
+	if c.MemBusBW <= 0 || c.NICBW <= 0 || c.BisectionBW <= 0 || c.IONetBW <= 0 {
+		return fmt.Errorf("cluster: all bandwidths must be positive")
+	}
+	if c.MemFloor == 0 {
+		c.MemFloor = c.MemPerNode / 16
+		if c.MemFloor < 64<<10 {
+			c.MemFloor = 64 << 10
+		}
+		if c.MemFloor > c.MemPerNode {
+			c.MemFloor = c.MemPerNode
+		}
+	}
+	return nil
+}
+
+// Node is one physical compute node.
+type Node struct {
+	ID       int
+	Capacity int64 // aggregation-memory budget (after variance sampling)
+
+	used      int64
+	highWater int64
+
+	MemBus *resource.Link // off-chip memory bandwidth, shared by all cores on the node
+	NICTx  *resource.Link
+	NICRx  *resource.Link
+}
+
+// Available returns the memory currently free on the node.
+func (n *Node) Available() int64 { return n.Capacity - n.used }
+
+// Used returns the memory currently allocated on the node.
+func (n *Node) Used() int64 { return n.used }
+
+// HighWater returns the peak allocation seen on the node.
+func (n *Node) HighWater() int64 { return n.highWater }
+
+// Alloc reserves b bytes if available, reporting success.
+func (n *Node) Alloc(b int64) bool {
+	if b < 0 {
+		panic(fmt.Sprintf("cluster: negative alloc %d on node %d", b, n.ID))
+	}
+	if n.used+b > n.Capacity {
+		return false
+	}
+	n.used += b
+	if n.used > n.highWater {
+		n.highWater = n.used
+	}
+	return true
+}
+
+// MustAlloc reserves b bytes even if it overcommits the node. The
+// overcommitted portion is still tracked, so reports show the pressure;
+// it models a strategy that ignores memory limits (the baseline).
+func (n *Node) MustAlloc(b int64) {
+	if b < 0 {
+		panic(fmt.Sprintf("cluster: negative alloc %d on node %d", b, n.ID))
+	}
+	n.used += b
+	if n.used > n.highWater {
+		n.highWater = n.used
+	}
+}
+
+// Free releases b bytes. Freeing more than allocated indicates a
+// strategy bug and panics.
+func (n *Node) Free(b int64) {
+	if b < 0 || b > n.used {
+		panic(fmt.Sprintf("cluster: free %d with %d used on node %d", b, n.used, n.ID))
+	}
+	n.used -= b
+}
+
+// Machine is an instantiated cluster.
+type Machine struct {
+	cfg       Config
+	nodes     []*Node
+	bisection *resource.Link
+	ioNet     *resource.Link
+	ranks     int // total processes (Nodes*CoresPerNode by default placement)
+}
+
+// New builds a machine from cfg. Node memory capacities are sampled
+// deterministically from cfg.Seed when cfg.MemSigma > 0.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       cfg,
+		bisection: resource.NewLink("bisection", cfg.BisectionBW, cfg.BisectionLat),
+		ioNet:     resource.NewLink("ionet", cfg.IONetBW, cfg.IONetLat),
+		ranks:     cfg.Nodes * cfg.CoresPerNode,
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	for i := 0; i < cfg.Nodes; i++ {
+		capacity := cfg.MemPerNode
+		if cfg.MemSigma > 0 {
+			capacity = int64(rng.ClippedNormal(
+				float64(cfg.MemPerNode),
+				cfg.MemSigma*float64(cfg.MemPerNode),
+				float64(cfg.MemFloor),
+				2*float64(cfg.MemPerNode)))
+		}
+		m.nodes = append(m.nodes, &Node{
+			ID:       i,
+			Capacity: capacity,
+			MemBus:   resource.NewLink(fmt.Sprintf("membus%d", i), cfg.MemBusBW, cfg.MemBusLat),
+			NICTx:    resource.NewLink(fmt.Sprintf("nictx%d", i), cfg.NICBW, cfg.NICLat),
+			NICRx:    resource.NewLink(fmt.Sprintf("nicrx%d", i), cfg.NICBW, cfg.NICLat),
+		})
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration (after default filling).
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumNodes returns the node count.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// NumRanks returns the total process count under the default placement.
+func (m *Machine) NumRanks() int { return m.ranks }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node {
+	return m.nodes[i]
+}
+
+// Bisection returns the shared fabric link.
+func (m *Machine) Bisection() *resource.Link { return m.bisection }
+
+// IONet returns the shared compute→storage link.
+func (m *Machine) IONet() *resource.Link { return m.ioNet }
+
+// NodeOfRank maps a rank to its node under block placement: ranks
+// 0..CoresPerNode-1 on node 0, and so on — MPI's default contiguous
+// mapping, which the paper assumes when it aligns aggregation groups to
+// node boundaries.
+func (m *Machine) NodeOfRank(rank int) int {
+	if rank < 0 || rank >= m.ranks {
+		panic(fmt.Sprintf("cluster: rank %d out of %d", rank, m.ranks))
+	}
+	return rank / m.cfg.CoresPerNode
+}
+
+// RanksOnNode returns the rank range [first, last] on a node.
+func (m *Machine) RanksOnNode(node int) (first, last int) {
+	if node < 0 || node >= len(m.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of %d", node, len(m.nodes)))
+	}
+	first = node * m.cfg.CoresPerNode
+	last = first + m.cfg.CoresPerNode - 1
+	if last >= m.ranks {
+		last = m.ranks - 1
+	}
+	return first, last
+}
+
+// MessagePath returns the resource path for src→dst rank traffic.
+// Intra-node messages cross only the node's memory bus; inter-node
+// messages cross sender bus, sender NIC, the bisection, receiver NIC,
+// and receiver bus.
+func (m *Machine) MessagePath(srcRank, dstRank int) resource.Path {
+	sn, dn := m.NodeOfRank(srcRank), m.NodeOfRank(dstRank)
+	if sn == dn {
+		return resource.NewPath(m.nodes[sn].MemBus)
+	}
+	return resource.NewPath(
+		m.nodes[sn].MemBus,
+		m.nodes[sn].NICTx,
+		m.bisection,
+		m.nodes[dn].NICRx,
+		m.nodes[dn].MemBus,
+	)
+}
+
+// StoragePath returns the resource path from a rank to the storage
+// network edge (the file system appends its own server/disk hops).
+func (m *Machine) StoragePath(rank int) resource.Path {
+	n := m.nodes[m.NodeOfRank(rank)]
+	return resource.NewPath(n.MemBus, n.NICTx, m.ioNet)
+}
+
+// StorageReturnPath is the reverse direction (reads landing in memory).
+func (m *Machine) StorageReturnPath(rank int) resource.Path {
+	n := m.nodes[m.NodeOfRank(rank)]
+	return resource.NewPath(m.ioNet, n.NICRx, n.MemBus)
+}
+
+// MemCapacities returns every node's sampled capacity, for reporting.
+func (m *Machine) MemCapacities() []int64 {
+	out := make([]int64, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = n.Capacity
+	}
+	return out
+}
+
+// MemHighWaters returns every node's peak allocation, for reporting.
+func (m *Machine) MemHighWaters() []int64 {
+	out := make([]int64, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = n.highWater
+	}
+	return out
+}
+
+// ResetLedger zeroes all allocations and high-water marks; used between
+// benchmark repetitions on a shared machine.
+func (m *Machine) ResetLedger() {
+	for _, n := range m.nodes {
+		n.used = 0
+		n.highWater = 0
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func testConfig(nodes, cores int) Config {
+	return Config{
+		Nodes:        nodes,
+		CoresPerNode: cores,
+		MemPerNode:   64 * MiB,
+		MemBusBW:     1e9,
+		NICBW:        1e8,
+		BisectionBW:  1e9,
+		IONetBW:      1e8,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Nodes: 1},
+		{Nodes: 1, CoresPerNode: 1},
+		{Nodes: -2, CoresPerNode: 4, MemPerNode: 1, MemBusBW: 1, NICBW: 1, BisectionBW: 1, IONetBW: 1},
+		{Nodes: 2, CoresPerNode: 4, MemPerNode: 1, MemBusBW: 0, NICBW: 1, BisectionBW: 1, IONetBW: 1},
+		{Nodes: 2, CoresPerNode: 4, MemPerNode: 1, MemSigma: -1, MemBusBW: 1, NICBW: 1, BisectionBW: 1, IONetBW: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	m, err := New(testConfig(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRanks() != 12 {
+		t.Fatalf("ranks %d, want 12", m.NumRanks())
+	}
+	cases := []struct{ rank, node int }{{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {11, 2}}
+	for _, c := range cases {
+		if got := m.NodeOfRank(c.rank); got != c.node {
+			t.Errorf("NodeOfRank(%d)=%d, want %d", c.rank, got, c.node)
+		}
+	}
+	f, l := m.RanksOnNode(1)
+	if f != 4 || l != 7 {
+		t.Fatalf("RanksOnNode(1)=[%d,%d], want [4,7]", f, l)
+	}
+}
+
+func TestPlacementCoversAllRanksExactlyOnce(t *testing.T) {
+	f := func(nodes, cores uint8) bool {
+		n := int(nodes%20) + 1
+		c := int(cores%16) + 1
+		m, err := New(testConfig(n, c))
+		if err != nil {
+			return false
+		}
+		count := make(map[int]int)
+		for node := 0; node < n; node++ {
+			first, last := m.RanksOnNode(node)
+			for r := first; r <= last; r++ {
+				count[r]++
+				if m.NodeOfRank(r) != node {
+					return false
+				}
+			}
+		}
+		if len(count) != m.NumRanks() {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryLedger(t *testing.T) {
+	m, err := New(testConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Node(0)
+	if !n.Alloc(32 * MiB) {
+		t.Fatal("alloc within capacity failed")
+	}
+	if n.Alloc(40 * MiB) {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if n.Available() != 32*MiB {
+		t.Fatalf("available %d, want %d", n.Available(), 32*MiB)
+	}
+	n.MustAlloc(64 * MiB) // overcommit allowed, tracked
+	if n.HighWater() != 96*MiB {
+		t.Fatalf("highwater %d, want %d", n.HighWater(), 96*MiB)
+	}
+	n.Free(96 * MiB)
+	if n.Used() != 0 {
+		t.Fatalf("used %d after full free", n.Used())
+	}
+	m.ResetLedger()
+	if n.HighWater() != 0 {
+		t.Fatal("ResetLedger kept high water")
+	}
+}
+
+func TestFreeTooMuchPanics(t *testing.T) {
+	m, _ := New(testConfig(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	m.Node(0).Free(1)
+}
+
+func TestMemoryVarianceSampledDeterministically(t *testing.T) {
+	cfg := testConfig(32, 2)
+	cfg.MemSigma = 0.5
+	cfg.Seed = 99
+	m1, _ := New(cfg)
+	m2, _ := New(cfg)
+	c1, c2 := m1.MemCapacities(), m2.MemCapacities()
+	varied := false
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("node %d capacity differs across identical configs", i)
+		}
+		if c1[i] != cfg.MemPerNode {
+			varied = true
+		}
+		if c1[i] < cfg.MemFloor || c1[i] > 2*cfg.MemPerNode {
+			t.Fatalf("node %d capacity %d outside clip range", i, c1[i])
+		}
+	}
+	if !varied {
+		t.Fatal("sigma=0.5 produced no variance at all")
+	}
+}
+
+func TestZeroSigmaMeansUniform(t *testing.T) {
+	cfg := testConfig(8, 2)
+	m, _ := New(cfg)
+	for i, c := range m.MemCapacities() {
+		if c != cfg.MemPerNode {
+			t.Fatalf("node %d capacity %d, want %d", i, c, cfg.MemPerNode)
+		}
+	}
+}
+
+func TestIntraNodePathTouchesOnlyMemBus(t *testing.T) {
+	m, _ := New(testConfig(2, 2))
+	pa := m.MessagePath(0, 1) // same node
+	if len(pa.Links()) != 1 || pa.Links()[0] != m.Node(0).MemBus {
+		t.Fatalf("intra-node path %v, want just node 0 membus", pa.Links())
+	}
+}
+
+func TestInterNodePathCrossesFabric(t *testing.T) {
+	m, _ := New(testConfig(2, 2))
+	pa := m.MessagePath(1, 2) // node 0 -> node 1
+	links := pa.Links()
+	if len(links) != 5 {
+		t.Fatalf("inter-node path has %d hops, want 5", len(links))
+	}
+	if links[0] != m.Node(0).MemBus || links[2] != m.Bisection() || links[4] != m.Node(1).MemBus {
+		t.Fatal("inter-node path hop order wrong")
+	}
+}
+
+func TestInterNodeSlowerThanIntraNode(t *testing.T) {
+	m, _ := New(testConfig(2, 2))
+	e := simtime.NewEngine()
+	var intra, inter float64
+	e.Spawn("intra", func(p *simtime.Proc) {
+		intra = m.MessagePath(0, 1).Transfer(p, 1<<20)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := simtime.NewEngine()
+	e2.Spawn("inter", func(p *simtime.Proc) {
+		inter = m.MessagePath(0, 2).Transfer(p, 1<<20)
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inter <= intra {
+		t.Fatalf("inter-node %g not slower than intra-node %g", inter, intra)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{TestbedConfig(10), ExascaleConfig(4)} {
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestStoragePathsDistinctDirections(t *testing.T) {
+	m, _ := New(testConfig(2, 1))
+	out := m.StoragePath(0).Links()
+	back := m.StorageReturnPath(0).Links()
+	if out[1] != m.Node(0).NICTx || back[1] != m.Node(0).NICRx {
+		t.Fatal("storage paths use wrong NIC directions")
+	}
+}

@@ -1,0 +1,403 @@
+package collio
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/datatype"
+	"repro/internal/iolib"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Hierarchical (two-layer) exchange: the paper's abstract promises that
+// memory-conscious collective I/O "coordinates I/O accesses in
+// intra-node and inter-node layer". This file implements that layer
+// split for the round engine: within each physical node, ranks first
+// funnel their round pieces to a node leader over the memory bus; only
+// leaders talk to aggregators across the fabric. Many small NIC
+// messages become one combined message per (node, aggregator) pair per
+// round, at the price of one extra intra-node hop.
+//
+// Matching stays deterministic on both sides:
+//   - every non-leader sends its leader exactly one bundle per round
+//     (possibly empty), so leaders never guess;
+//   - aggregators expect traffic from the *leader* of any node that has
+//     requests in the current window (computable from othersReq plus
+//     the node map);
+//   - on reads, leaders know what their mates expect because mates'
+//     views are gathered once up front.
+
+// nodeBundle is the per-round intra-node payload: one piece per domain
+// the sender has data for.
+type nodeBundle struct {
+	pieces map[int]shufflePiece // domain index -> piece
+}
+
+func (nb nodeBundle) wireBytes() int64 {
+	var n int64 = 8
+	for _, p := range nb.pieces {
+		n += p.wireBytes()
+	}
+	return n
+}
+
+// rankPiece is a read-path piece addressed to one rank.
+type rankPiece struct {
+	rank  int // comm rank the piece belongs to
+	piece shufflePiece
+}
+
+// combineState holds the static node topology for one collective.
+type combineState struct {
+	leaderOf []int // comm rank -> leader comm rank (lowest on node)
+	mates    []int // my node's comm ranks (only filled for leaders)
+	leaders  []int // distinct leaders in ascending order
+	amLeader bool
+	views    map[int]datatype.List // leader only: mate comm rank -> full view
+}
+
+// newCombineState derives the per-node leader topology.
+func newCombineState(c *mpi.Comm) *combineState {
+	p := c.Size()
+	cs := &combineState{leaderOf: make([]int, p)}
+	firstOnNode := make(map[int]int)
+	for r := 0; r < p; r++ {
+		node := c.NodeOf(r)
+		if _, ok := firstOnNode[node]; !ok {
+			firstOnNode[node] = r
+			cs.leaders = append(cs.leaders, r)
+		}
+		cs.leaderOf[r] = firstOnNode[node]
+	}
+	me := c.Rank()
+	cs.amLeader = cs.leaderOf[me] == me
+	if cs.amLeader {
+		for r := 0; r < p; r++ {
+			if cs.leaderOf[r] == me {
+				cs.mates = append(cs.mates, r)
+			}
+		}
+	}
+	return cs
+}
+
+// gatherViews sends every non-leader's view to its leader so leaders
+// can compute mate expectations (read path) — the intra-node layer of
+// the upfront request exchange. Charged at segment-metadata size.
+const viewTag = 1000 // user-tag space; distinct from bundle/piece tags
+
+const bundleTag = 1001
+const pieceTag = 1002
+
+func (cs *combineState) gatherViews(c *mpi.Comm, vi *iolib.ViewIndex) {
+	me := c.Rank()
+	if !cs.amLeader {
+		view := vi.View()
+		c.SendVal(cs.leaderOf[me], viewTag, segsVal{view}, int64(len(view))*extBytes+8)
+		return
+	}
+	cs.views = map[int]datatype.List{me: vi.View()}
+	for _, mate := range cs.mates {
+		if mate == me {
+			continue
+		}
+		cs.views[mate] = c.RecvVal(mate, viewTag).(segsVal).segs
+	}
+}
+
+// segsVal wraps a view for the intra-node metadata send.
+type segsVal struct {
+	segs datatype.List
+}
+
+// combinePieces concatenates several pieces into one (segment lists
+// joined, payloads packed back to back). Segments from different ranks
+// never overlap, so the aggregator's scatter handles the joined list
+// without normalization.
+func combinePieces(pieces []shufflePiece, phantom bool) shufflePiece {
+	if len(pieces) == 1 {
+		return pieces[0]
+	}
+	var segs datatype.List
+	var total int64
+	for _, p := range pieces {
+		segs = append(segs, p.segs...)
+		total += p.data.Len()
+	}
+	data := buffer.New(total, phantom)
+	var pos int64
+	for _, p := range pieces {
+		buffer.Copy(data.Slice(pos, p.data.Len()), p.data)
+		pos += p.data.Len()
+	}
+	return shufflePiece{segs: segs, data: data}
+}
+
+// executeWriteCombined is ExecuteWrite with the two-layer exchange.
+func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.Buf, plan *Plan, m *trace.Metrics) {
+	p := c.Size()
+	me := c.Rank()
+	mine := exchangeRequests(c, vi, plan)
+	if mine != nil {
+		m.AddAggregator(mine.domain.BufBytes)
+	}
+	cs := newCombineState(c)
+	phantom := data.Phantom()
+
+	vals := make([]any, p)
+	bytes := make([]int64, p)
+	present := make([]bool, p)
+
+	for r := 0; r < plan.Rounds; r++ {
+		c.Barrier()
+		clearScratch(vals, bytes, present)
+
+		// Intra-node layer: pack my pieces and hand them to my leader.
+		myBundle := nodeBundle{pieces: make(map[int]shufflePiece, len(plan.Domains))}
+		var packedIntra int64
+		for di, d := range plan.Domains {
+			if r >= len(d.Windows) {
+				continue
+			}
+			w := d.Windows[r]
+			segs, packed := vi.Pack(data, w.Off, w.End())
+			if len(segs) == 0 {
+				continue
+			}
+			myBundle.pieces[di] = shufflePiece{segs: segs, data: packed}
+			packedIntra += packed.Len()
+		}
+		byDomain := make(map[int][]shufflePiece)
+		if cs.amLeader {
+			for di := range plan.Domains {
+				if piece, ok := myBundle.pieces[di]; ok {
+					byDomain[di] = append(byDomain[di], piece)
+				}
+			}
+			for _, mate := range cs.mates {
+				if mate == me {
+					continue
+				}
+				nb := c.RecvVal(mate, bundleTag).(nodeBundle)
+				for di, piece := range nb.pieces {
+					byDomain[di] = append(byDomain[di], piece)
+				}
+			}
+		} else {
+			c.SendVal(cs.leaderOf[me], bundleTag, myBundle, myBundle.wireBytes())
+			m.AddExchange(packedIntra, 0, 0)
+		}
+
+		// Inter-node layer: leaders ship one combined piece per domain.
+		var sentIntra, sentInter int64
+		if cs.amLeader {
+			for di := range plan.Domains {
+				pieces, ok := byDomain[di]
+				if !ok {
+					continue
+				}
+				d := plan.Domains[di]
+				combined := combinePieces(pieces, phantom)
+				vals[d.Agg] = combined
+				bytes[d.Agg] = combined.wireBytes()
+				i, x := localityOf(c, me, d.Agg, combined.data.Len())
+				sentIntra += i
+				sentInter += x
+			}
+		}
+		// Aggregator expectation: the leader of any node whose ranks
+		// request inside my window.
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			for src, segs := range mine.othersReq {
+				if len(segs.Clip(w.Off, w.End())) > 0 {
+					present[cs.leaderOf[src]] = true
+				}
+			}
+		}
+
+		tExch := c.Now()
+		out := c.AlltoallSparse(vals, bytes, present)
+		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			cov := mine.coverage.Clip(w.Off, w.End())
+			if len(cov) > 0 {
+				aggregatorWrite(f, c, plan, mine, cov, out, phantom, m)
+			}
+			m.AddRound(r + 1)
+		}
+	}
+}
+
+// aggregatorWrite assembles received pieces and issues the window's
+// file writes; shared by the flat and combined write paths.
+func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov datatype.List, out []any, phantom bool, m *trace.Metrics) {
+	covLo, covHi := cov.Extent()
+	region := buffer.New(covHi-covLo, phantom)
+	var reqs, ioBytes int64
+	tIO := c.Now()
+	if !plan.ExactWrite && len(cov.Holes()) > 0 {
+		f.ReadAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+		reqs++
+		ioBytes += covHi - covLo
+	}
+	tAsm := c.Now()
+	for _, v := range out {
+		if v == nil {
+			continue
+		}
+		piece := v.(shufflePiece)
+		iolib.ScatterIntoRegion(region, covLo, piece.segs, piece.data)
+	}
+	chargeAssembly(c, cov.TotalBytes())
+	m.AddExchange(0, 0, c.Now()-tAsm)
+	if plan.ExactWrite {
+		offs := make([]int64, len(cov))
+		bufs := make([]buffer.Buf, len(cov))
+		for i, run := range cov {
+			offs[i] = run.Off
+			bufs[i] = region.Slice(run.Off-covLo, run.Len)
+			reqs++
+			ioBytes += run.Len
+		}
+		f.WriteVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+	} else {
+		f.WriteAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+		reqs++
+		ioBytes += covHi - covLo
+	}
+	m.AddIO(ioBytes, reqs, c.Now()-tIO)
+}
+
+// executeReadCombined is ExecuteRead with the two-layer exchange:
+// aggregators ship one bundle of per-rank pieces to each node leader;
+// leaders fan the pieces out over the memory bus.
+func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf, plan *Plan, m *trace.Metrics) {
+	p := c.Size()
+	me := c.Rank()
+	mine := exchangeRequests(c, vi, plan)
+	if mine != nil {
+		m.AddAggregator(mine.domain.BufBytes)
+	}
+	cs := newCombineState(c)
+	cs.gatherViews(c, vi)
+	phantom := dst.Phantom()
+
+	vals := make([]any, p)
+	bytes := make([]int64, p)
+	present := make([]bool, p)
+
+	for r := 0; r < plan.Rounds; r++ {
+		c.Barrier()
+		clearScratch(vals, bytes, present)
+
+		// Aggregator: read the window's coverage and bundle pieces per
+		// destination node.
+		var sentIntra, sentInter int64
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			cov := mine.coverage.Clip(w.Off, w.End())
+			if len(cov) > 0 {
+				covLo, covHi := cov.Extent()
+				region := buffer.New(covHi-covLo, phantom)
+				tIO := c.Now()
+				offs := make([]int64, len(cov))
+				bufs := make([]buffer.Buf, len(cov))
+				for i, run := range cov {
+					offs[i] = run.Off
+					bufs[i] = region.Slice(run.Off-covLo, run.Len)
+				}
+				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				chargeAssembly(c, cov.TotalBytes())
+
+				// Iterate requesters in rank order so bundles and the
+				// leader fan-out are deterministic.
+				byLeader := make(map[int][]rankPiece)
+				for src := 0; src < p; src++ {
+					segs, ok := mine.othersReq[src]
+					if !ok {
+						continue
+					}
+					clip := segs.Clip(w.Off, w.End())
+					if len(clip) == 0 {
+						continue
+					}
+					piece := shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
+					byLeader[cs.leaderOf[src]] = append(byLeader[cs.leaderOf[src]], rankPiece{rank: src, piece: piece})
+				}
+				for _, leader := range cs.leaders {
+					pieces, ok := byLeader[leader]
+					if !ok {
+						continue
+					}
+					var wire int64 = 8
+					for _, rp := range pieces {
+						wire += rp.piece.wireBytes()
+					}
+					vals[leader] = pieces
+					bytes[leader] = wire
+					var payload int64
+					for _, rp := range pieces {
+						payload += rp.piece.data.Len()
+					}
+					i, x := localityOf(c, me, leader, payload)
+					sentIntra += i
+					sentInter += x
+				}
+			}
+			m.AddRound(r + 1)
+		}
+
+		// Leader expectation: any mate (including myself) with data in
+		// an active window means the owning aggregator will bundle to me.
+		if cs.amLeader {
+			for _, d := range plan.Domains {
+				if r >= len(d.Windows) {
+					continue
+				}
+				w := d.Windows[r]
+				for _, mate := range cs.mates {
+					if len(cs.views[mate].Clip(w.Off, w.End())) > 0 {
+						present[d.Agg] = true
+						break
+					}
+				}
+			}
+		}
+
+		tExch := c.Now()
+		out := c.AlltoallSparse(vals, bytes, present)
+		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+
+		// Intra-node layer: leaders fan pieces out; every rank knows how
+		// many pieces to expect (one per active domain its view hits).
+		if cs.amLeader {
+			for _, v := range out {
+				if v == nil {
+					continue
+				}
+				for _, rp := range v.([]rankPiece) {
+					if rp.rank == me {
+						vi.Unpack(dst, rp.piece.segs, rp.piece.data)
+						continue
+					}
+					c.SendVal(rp.rank, pieceTag, rp.piece, rp.piece.wireBytes())
+				}
+			}
+		}
+		if !cs.amLeader {
+			expect := 0
+			for _, d := range plan.Domains {
+				if r < len(d.Windows) && len(vi.Clip(d.Windows[r].Off, d.Windows[r].End())) > 0 {
+					expect++
+				}
+			}
+			for i := 0; i < expect; i++ {
+				piece := c.RecvVal(cs.leaderOf[me], pieceTag).(shufflePiece)
+				vi.Unpack(dst, piece.segs, piece.data)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package collio
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/iolib"
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestCombinePiecesConcatenatesAligned(t *testing.T) {
+	mk := func(off, n int64, tag uint64) shufflePiece {
+		b := buffer.NewReal(n)
+		b.Fill(tag, off)
+		return shufflePiece{segs: datatype.List{{Off: off, Len: n}}, data: b}
+	}
+	a := mk(0, 10, 1)
+	b := mk(50, 20, 2)
+	c := combinePieces([]shufflePiece{a, b}, false)
+	if c.data.Len() != 30 || len(c.segs) != 2 {
+		t.Fatalf("combined %d bytes, %d segs", c.data.Len(), len(c.segs))
+	}
+	// Scatter into a region and verify placement.
+	region := buffer.NewReal(100)
+	iolib.ScatterIntoRegion(region, 0, c.segs, c.data)
+	if i := region.Slice(0, 10).Verify(1, 0); i != -1 {
+		t.Fatalf("first piece at %d", i)
+	}
+	if i := region.Slice(50, 20).Verify(2, 50); i != -1 {
+		t.Fatalf("second piece at %d", i)
+	}
+}
+
+func TestCombinePiecesSingleIsIdentity(t *testing.T) {
+	p := shufflePiece{segs: datatype.List{{Off: 3, Len: 4}}, data: buffer.NewPhantom(4)}
+	if got := combinePieces([]shufflePiece{p}, true); got.data.Len() != 4 || len(got.segs) != 1 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestCombineStateTopology(t *testing.T) {
+	e := simtime.NewEngine()
+	m, err := cluster.New(cluster.Config{
+		Nodes: 3, CoresPerNode: 2, MemPerNode: 1 << 20,
+		MemBusBW: 1e9, NICBW: 1e9, BisectionBW: 1e9, IONetBW: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(e, m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(func(c *mpi.Comm) {
+		cs := newCombineState(c)
+		wantLeader := c.Rank() / 2 * 2
+		if cs.leaderOf[c.Rank()] != wantLeader {
+			t.Errorf("rank %d leader %d, want %d", c.Rank(), cs.leaderOf[c.Rank()], wantLeader)
+		}
+		if cs.amLeader != (c.Rank()%2 == 0) {
+			t.Errorf("rank %d amLeader=%v", c.Rank(), cs.amLeader)
+		}
+		if cs.amLeader && len(cs.mates) != 2 {
+			t.Errorf("rank %d mates %v", c.Rank(), cs.mates)
+		}
+		if len(cs.leaders) != 3 {
+			t.Errorf("leaders %v", cs.leaders)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombinedTwoPhaseRoundTripInPackage drives the combined engine via
+// the baseline planner entirely within this package.
+func TestCombinedTwoPhaseRoundTripInPackage(t *testing.T) {
+	e, m, fs := testRig(t, 2, 3, 64*cluster.MiB)
+	w, err := mpi.NewWorld(e, m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := iolib.Open(fs, "x")
+	w.Start(func(c *mpi.Comm) {
+		view := interleavedView(c.Rank(), 6, 8, 2<<10)
+		data := fillViewBuffer(view, uint64(c.Rank()))
+		tp := TwoPhase{CBBuffer: 32 << 10, NodeCombine: true}
+		var mtr trace.Metrics
+		tp.WriteAll(f, c, view, data, &mtr)
+		c.Barrier()
+		dst := fillViewBuffer(view, 999)
+		tp.ReadAll(f, c, view, dst, &mtr)
+		var pos int64
+		for _, s := range view {
+			if i := dst.Slice(pos, s.Len).Verify(uint64(c.Rank()), s.Off); i != -1 {
+				t.Errorf("rank %d segment %v mismatch at %d", c.Rank(), s, i)
+			}
+			pos += s.Len
+		}
+		// Only aggregators record rounds in their local metrics.
+		if mtr.Aggregators > 0 && mtr.Rounds == 0 {
+			t.Error("aggregator recorded no rounds")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinedSingleRankPerNode(t *testing.T) {
+	// Degenerate combining: every rank is its own leader; the combined
+	// engine must behave exactly like the flat one.
+	e, m, fs := testRig(t, 4, 1, 64*cluster.MiB)
+	w, err := mpi.NewWorld(e, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := iolib.Open(fs, "x")
+	w.Start(func(c *mpi.Comm) {
+		view := interleavedView(c.Rank(), 4, 4, 4<<10)
+		data := fillViewBuffer(view, uint64(c.Rank()))
+		tp := TwoPhase{CBBuffer: 16 << 10, NodeCombine: true}
+		tp.WriteAll(f, c, view, data, &trace.Metrics{})
+		c.Barrier()
+		dst := fillViewBuffer(view, 999)
+		tp.ReadAll(f, c, view, dst, &trace.Metrics{})
+		var pos int64
+		for _, s := range view {
+			if i := dst.Slice(pos, s.Len).Verify(uint64(c.Rank()), s.Off); i != -1 {
+				t.Errorf("rank %d segment %v mismatch at %d", c.Rank(), s, i)
+			}
+			pos += s.Len
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

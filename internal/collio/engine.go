@@ -1,0 +1,317 @@
+package collio
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/datatype"
+	"repro/internal/iolib"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// reqList is the upfront request metadata a rank sends each aggregator
+// whose domain its extent touches: its view clipped to that domain.
+type reqList struct {
+	segs datatype.List
+}
+
+// shufflePiece is one round's payload between a rank and an aggregator:
+// the clipped segments plus their packed bytes.
+type shufflePiece struct {
+	segs datatype.List
+	data buffer.Buf
+}
+
+func (s shufflePiece) wireBytes() int64 {
+	return s.data.Len() + int64(len(s.segs))*extBytes
+}
+
+// aggState is what an aggregator accumulates during one collective.
+type aggState struct {
+	domain    Domain
+	othersReq map[int]datatype.List // comm rank -> its segments in my domain
+	coverage  datatype.List         // union of othersReq
+}
+
+// exchangeRequests performs the upfront metadata exchange and returns
+// this rank's aggregator state (nil if it owns no domain).
+func exchangeRequests(c *mpi.Comm, vi *iolib.ViewIndex, plan *Plan) *aggState {
+	p := c.Size()
+	var mine *aggState
+	for _, d := range plan.Domains {
+		if d.Agg == c.Rank() {
+			mine = &aggState{domain: d, othersReq: make(map[int]datatype.List)}
+		}
+	}
+	myExt := plan.Exts[c.Rank()]
+
+	vals := make([]any, p)
+	bytes := make([]int64, p)
+	present := make([]bool, p)
+	for _, d := range plan.Domains {
+		if !myExt.Empty() && myExt.Lo < d.Hi && myExt.Hi > d.Lo {
+			segs := vi.Clip(d.Lo, d.Hi)
+			vals[d.Agg] = reqList{segs: segs}
+			bytes[d.Agg] = int64(len(segs))*extBytes + 8
+		}
+	}
+	if mine != nil {
+		for src := 0; src < p; src++ {
+			e := plan.Exts[src]
+			present[src] = !e.Empty() && e.Lo < mine.domain.Hi && e.Hi > mine.domain.Lo
+		}
+	}
+	out := c.AlltoallSparse(vals, bytes, present)
+	if mine != nil {
+		var all datatype.List
+		for src, v := range out {
+			if v == nil {
+				continue
+			}
+			segs := v.(reqList).segs
+			if len(segs) > 0 {
+				mine.othersReq[src] = segs
+				all = append(all, segs...)
+			}
+		}
+		mine.coverage = datatype.Normalize(all)
+	}
+	return mine
+}
+
+// chargeAssembly models the extra off-chip pass an aggregator pays to
+// scatter/gather between its collective buffer and the shuffle
+// payloads — the memory-bandwidth pressure the paper is about.
+func chargeAssembly(c *mpi.Comm, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	node := c.World().Machine().Node(c.NodeOf(c.Rank()))
+	node.MemBus.Transfer(c.Proc(), bytes)
+}
+
+// clearScratch zeroes the per-round exchange arrays.
+func clearScratch(vals []any, bytes []int64, present []bool) {
+	for i := range vals {
+		vals[i] = nil
+		bytes[i] = 0
+		present[i] = false
+	}
+}
+
+// localityOf splits a payload size into (intra, inter) node bytes for
+// traffic metrics.
+func localityOf(c *mpi.Comm, a, b int, n int64) (int64, int64) {
+	if c.NodeOf(a) == c.NodeOf(b) {
+		return n, 0
+	}
+	return 0, n
+}
+
+// ExecuteWrite runs the two-phase write rounds for plan. Every rank of
+// c must call it with its own view/data; the plan must be identical on
+// all ranks. Aggregation buffers must already be charged to the memory
+// ledger by the strategy; the engine only reports them.
+func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.Buf, plan *Plan, m *trace.Metrics) {
+	if err := plan.Validate(c.Size()); err != nil {
+		panic(err)
+	}
+	if plan.NodeCombine {
+		executeWriteCombined(f, c, vi, data, plan, m)
+		return
+	}
+	p := c.Size()
+	mine := exchangeRequests(c, vi, plan)
+	if mine != nil {
+		m.AddAggregator(mine.domain.BufBytes)
+	}
+	phantom := data.Phantom()
+
+	// Exchange scratch, reused across rounds (allocating per round
+	// dominated GC time at 1080 ranks).
+	vals := make([]any, p)
+	bytes := make([]int64, p)
+	present := make([]bool, p)
+
+	for r := 0; r < plan.Rounds; r++ {
+		// ROMIO's per-round alltoallv of counts synchronizes the whole
+		// communicator: nobody starts round r+1 until the slowest
+		// aggregator finishes round r. The barrier reproduces that
+		// lock-step — and because strategies pass their own (possibly
+		// group-local) communicator, subgroup strategies pay it only
+		// across their group, which is the decoupling the paper's group
+		// division buys.
+		c.Barrier()
+		clearScratch(vals, bytes, present)
+
+		// Sender side: pack my pieces for every domain active this round.
+		var sentIntra, sentInter int64
+		for _, d := range plan.Domains {
+			if r >= len(d.Windows) {
+				continue
+			}
+			w := d.Windows[r]
+			segs, packed := vi.Pack(data, w.Off, w.End())
+			if len(segs) == 0 {
+				continue
+			}
+			piece := shufflePiece{segs: segs, data: packed}
+			vals[d.Agg] = piece
+			bytes[d.Agg] = piece.wireBytes()
+			i, x := localityOf(c, c.Rank(), d.Agg, packed.Len())
+			sentIntra += i
+			sentInter += x
+		}
+		// Receiver side: I expect from every rank whose requests
+		// intersect my current window.
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			for src, segs := range mine.othersReq {
+				present[src] = len(segs.Clip(w.Off, w.End())) > 0
+			}
+		}
+
+		tExch := c.Now()
+		out := c.AlltoallSparse(vals, bytes, present)
+		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+
+		// Aggregator: assemble and write this window.
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			cov := mine.coverage.Clip(w.Off, w.End())
+			if len(cov) > 0 {
+				covLo, covHi := cov.Extent()
+				region := buffer.New(covHi-covLo, phantom)
+				var reqs, ioBytes int64
+				tIO := c.Now()
+				if !plan.ExactWrite && len(cov.Holes()) > 0 {
+					// Read-modify-write: fetch the extent so the bytes
+					// between requests survive. Safe only for a single
+					// global collective (see Plan.ExactWrite).
+					f.ReadAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+					reqs++
+					ioBytes += covHi - covLo
+				}
+				tAsm := c.Now()
+				for _, v := range out {
+					if v == nil {
+						continue
+					}
+					piece := v.(shufflePiece)
+					iolib.ScatterIntoRegion(region, covLo, piece.segs, piece.data)
+				}
+				chargeAssembly(c, cov.TotalBytes())
+				m.AddExchange(0, 0, c.Now()-tAsm)
+				if plan.ExactWrite {
+					// One request per covered run, issued as a pipelined
+					// batch: never touches bytes between requests, so
+					// concurrent groups interleave safely.
+					offs := make([]int64, len(cov))
+					bufs := make([]buffer.Buf, len(cov))
+					for i, run := range cov {
+						offs[i] = run.Off
+						bufs[i] = region.Slice(run.Off-covLo, run.Len)
+						reqs++
+						ioBytes += run.Len
+					}
+					f.WriteVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+				} else {
+					f.WriteAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+					reqs++
+					ioBytes += covHi - covLo
+				}
+				m.AddIO(ioBytes, reqs, c.Now()-tIO)
+			}
+			m.AddRound(r + 1)
+		}
+	}
+}
+
+// ExecuteRead runs the two-phase read rounds for plan: aggregators read
+// their window's covered extent and ship each rank its pieces; ranks
+// unpack into dst.
+func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf, plan *Plan, m *trace.Metrics) {
+	if err := plan.Validate(c.Size()); err != nil {
+		panic(err)
+	}
+	if plan.NodeCombine {
+		executeReadCombined(f, c, vi, dst, plan, m)
+		return
+	}
+	p := c.Size()
+	mine := exchangeRequests(c, vi, plan)
+	if mine != nil {
+		m.AddAggregator(mine.domain.BufBytes)
+	}
+	phantom := dst.Phantom()
+
+	// Exchange scratch, reused across rounds; see ExecuteWrite.
+	vals := make([]any, p)
+	bytes := make([]int64, p)
+	present := make([]bool, p)
+
+	for r := 0; r < plan.Rounds; r++ {
+		// Same lock-step as the write path; see ExecuteWrite.
+		c.Barrier()
+		clearScratch(vals, bytes, present)
+
+		// Aggregator: read my window's coverage and carve per-rank pieces.
+		var sentIntra, sentInter int64
+		if mine != nil && r < len(mine.domain.Windows) {
+			w := mine.domain.Windows[r]
+			cov := mine.coverage.Clip(w.Off, w.End())
+			if len(cov) > 0 {
+				covLo, covHi := cov.Extent()
+				region := buffer.New(covHi-covLo, phantom)
+				tIO := c.Now()
+				// Read exactly the covered runs as one pipelined batch —
+				// a sparse window (grouped strategies) would otherwise
+				// fetch more hole bytes than data.
+				offs := make([]int64, len(cov))
+				bufs := make([]buffer.Buf, len(cov))
+				for i, run := range cov {
+					offs[i] = run.Off
+					bufs[i] = region.Slice(run.Off-covLo, run.Len)
+				}
+				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				chargeAssembly(c, cov.TotalBytes())
+				for src, segs := range mine.othersReq {
+					clip := segs.Clip(w.Off, w.End())
+					if len(clip) == 0 {
+						continue
+					}
+					piece := shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
+					vals[src] = piece
+					bytes[src] = piece.wireBytes()
+					i, x := localityOf(c, c.Rank(), src, piece.data.Len())
+					sentIntra += i
+					sentInter += x
+				}
+			}
+			m.AddRound(r + 1)
+		}
+		// Rank side: I expect a piece from every domain whose window
+		// intersects my view this round.
+		for _, d := range plan.Domains {
+			if r >= len(d.Windows) {
+				continue
+			}
+			w := d.Windows[r]
+			if len(vi.Clip(w.Off, w.End())) > 0 {
+				present[d.Agg] = true
+			}
+		}
+
+		tExch := c.Now()
+		out := c.AlltoallSparse(vals, bytes, present)
+		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+
+		for _, v := range out {
+			if v == nil {
+				continue
+			}
+			piece := v.(shufflePiece)
+			vi.Unpack(dst, piece.segs, piece.data)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package collio implements two-phase collective I/O.
+//
+// It has two layers:
+//
+//   - The round engine (ExecuteWrite / ExecuteRead): given a Plan — a
+//     set of file domains, each owned by one aggregator with a window
+//     schedule — it performs the upfront request exchange, then the
+//     lock-step rounds of shuffle + file I/O that define two-phase
+//     collective I/O.
+//   - The TwoPhase strategy: ROMIO's classic plan — one aggregator per
+//     node, the aggregate file extent split evenly by offset, a fixed
+//     collective buffer.
+//
+// The memory-conscious strategy (internal/core) builds different plans
+// — aggregation groups, partition-tree domains, memory-aware aggregator
+// placement — and runs them on the same engine, which mirrors how the
+// paper positions MCCIO as an enhancement of two-phase rather than a
+// replacement.
+package collio
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+)
+
+// Ext is one rank's access extent, the coarse metadata ROMIO allgathers
+// before building file domains.
+type Ext struct {
+	Lo, Hi int64 // half-open; Lo == Hi means no data
+}
+
+// extBytes is the charged wire size of an Ext.
+const extBytes = 16
+
+// Empty reports whether the extent covers nothing.
+func (e Ext) Empty() bool { return e.Hi <= e.Lo }
+
+// Domain is one aggregator's file domain and round schedule.
+type Domain struct {
+	Agg      int                // comm rank of the owning aggregator
+	Lo, Hi   int64              // file extent of the domain (half-open)
+	BufBytes int64              // aggregation buffer charged to the ledger
+	Windows  []datatype.Segment // per-round file windows, in order
+}
+
+// Rounds returns the number of rounds this domain needs.
+func (d Domain) Rounds() int { return len(d.Windows) }
+
+// Plan is a complete collective schedule, computed identically by every
+// rank from allgathered metadata.
+type Plan struct {
+	Domains []Domain
+	Exts    []Ext // per comm rank, from the strategy's allgather
+	Rounds  int   // max over domains
+
+	// NodeCombine enables the two-layer (intra-node, inter-node)
+	// exchange: ranks funnel their round pieces to a per-node leader
+	// over the memory bus and only leaders cross the fabric. See
+	// combine.go.
+	NodeCombine bool
+
+	// ExactWrite makes aggregators write each covered run as its own
+	// request instead of read-modify-writing the window extent. A
+	// single global collective may safely RMW its holes (nobody else
+	// writes them during the operation), but disjoint aggregation
+	// groups running concurrently interleave in the file — an extent
+	// RMW in one group would resurrect stale bytes over another
+	// group's fresh writes. Group-based strategies must set this.
+	ExactWrite bool
+}
+
+// Validate checks the invariants the engine relies on: one domain per
+// aggregator, windows inside the domain and strictly ordered.
+func (p *Plan) Validate(commSize int) error {
+	seen := make(map[int]bool, len(p.Domains))
+	for i, d := range p.Domains {
+		if d.Agg < 0 || d.Agg >= commSize {
+			return fmt.Errorf("collio: domain %d aggregator %d out of comm size %d", i, d.Agg, commSize)
+		}
+		if seen[d.Agg] {
+			return fmt.Errorf("collio: aggregator %d owns two domains", d.Agg)
+		}
+		seen[d.Agg] = true
+		if d.Hi < d.Lo {
+			return fmt.Errorf("collio: domain %d negative extent [%d,%d)", i, d.Lo, d.Hi)
+		}
+		if d.BufBytes <= 0 && len(d.Windows) > 0 {
+			return fmt.Errorf("collio: domain %d has windows but no buffer", i)
+		}
+		prev := d.Lo
+		for j, w := range d.Windows {
+			if w.Len <= 0 || w.Off < prev || w.End() > d.Hi {
+				return fmt.Errorf("collio: domain %d window %d %v escapes [%d,%d) or disordered", i, j, w, d.Lo, d.Hi)
+			}
+			prev = w.End()
+		}
+	}
+	if len(p.Exts) != commSize {
+		return fmt.Errorf("collio: plan has %d extents for comm of %d", len(p.Exts), commSize)
+	}
+	return nil
+}
+
+// maxRounds recomputes Rounds from the domains.
+func (p *Plan) maxRounds() int {
+	r := 0
+	for _, d := range p.Domains {
+		if d.Rounds() > r {
+			r = d.Rounds()
+		}
+	}
+	return r
+}
+
+// OffsetWindows slices [lo, hi) into consecutive windows of buf bytes —
+// the baseline schedule: the aggregator marches through its domain by
+// file offset, buf bytes of *extent* at a time.
+func OffsetWindows(lo, hi, buf int64) []datatype.Segment {
+	if buf <= 0 {
+		panic(fmt.Sprintf("collio: window buffer %d", buf))
+	}
+	var out []datatype.Segment
+	for off := lo; off < hi; off += buf {
+		n := buf
+		if off+n > hi {
+			n = hi - off
+		}
+		out = append(out, datatype.Segment{Off: off, Len: n})
+	}
+	return out
+}
+
+// CoverageWindows slices a domain so each window holds at most buf
+// *covered* bytes of coverage (the union of requests inside the
+// domain). Where coverage is sparse — the memory-conscious groups see
+// this on interleaved workloads — offset windows would spin through
+// empty rounds; coverage windows advance by data instead. Window bounds
+// snap to coverage so no window starts or ends inside a hole.
+func CoverageWindows(coverage datatype.List, buf int64) []datatype.Segment {
+	if buf <= 0 {
+		panic(fmt.Sprintf("collio: window buffer %d", buf))
+	}
+	var out []datatype.Segment
+	var cur datatype.Segment
+	var curData int64
+	flush := func() {
+		if curData > 0 {
+			out = append(out, cur)
+			curData = 0
+		}
+	}
+	for _, s := range coverage {
+		for s.Len > 0 {
+			if curData == 0 {
+				cur = datatype.Segment{Off: s.Off, Len: 0}
+			}
+			take := buf - curData
+			if take > s.Len {
+				take = s.Len
+			}
+			cur.Len = s.Off + take - cur.Off
+			curData += take
+			s.Off += take
+			s.Len -= take
+			if curData == buf {
+				flush()
+			}
+		}
+	}
+	flush()
+	return out
+}

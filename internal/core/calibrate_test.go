@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/pfs"
+)
+
+func calibPlatform() (cluster.Config, pfs.Config) {
+	mcfg := cluster.TestbedConfig(4)
+	fcfg := pfs.DefaultConfig()
+	return mcfg, fcfg
+}
+
+func TestCalibrateProducesValidOptions(t *testing.T) {
+	mcfg, fcfg := calibPlatform()
+	rep, err := Calibrate(mcfg, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Result
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Msgind < fcfg.StripeUnit || o.Msgind%fcfg.StripeUnit != 0 {
+		t.Fatalf("Msgind %d not stripe-aligned", o.Msgind)
+	}
+	if o.Nah < 1 || o.Nah > mcfg.CoresPerNode {
+		t.Fatalf("Nah %d out of [1,%d]", o.Nah, mcfg.CoresPerNode)
+	}
+	if o.Memmin <= 0 || o.Memmin > o.Msgind {
+		t.Fatalf("Memmin %d vs Msgind %d", o.Memmin, o.Msgind)
+	}
+	if o.Msggroup < o.Msgind {
+		t.Fatalf("Msggroup %d below Msgind %d", o.Msggroup, o.Msgind)
+	}
+	if len(rep.MsgindCurve) == 0 || len(rep.NahCurve) == 0 {
+		t.Fatal("empty calibration curves")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCalibrateMsgindCurveMonotoneKnee(t *testing.T) {
+	mcfg, fcfg := calibPlatform()
+	rep, err := Calibrate(mcfg, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger messages must not be slower on a latency-bound path:
+	// throughput is non-decreasing until saturation (within 1%).
+	prev := 0.0
+	for _, p := range rep.MsgindCurve {
+		if p.Y < prev*0.99 {
+			t.Fatalf("throughput fell with larger messages: %+v", rep.MsgindCurve)
+		}
+		if p.Y > prev {
+			prev = p.Y
+		}
+	}
+}
+
+func TestCalibrateTracksOSTLatency(t *testing.T) {
+	mcfg, fcfg := calibPlatform()
+	fast := fcfg
+	fast.OSTLatency = 50e-6
+	slow := fcfg
+	slow.OSTLatency = 5e-3
+	repFast, err := Calibrate(mcfg, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSlow, err := Calibrate(mcfg, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSlow.Result.Msgind < repFast.Result.Msgind {
+		t.Fatalf("higher per-request latency should demand larger Msgind: fast=%d slow=%d",
+			repFast.Result.Msgind, repSlow.Result.Msgind)
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	mcfg, fcfg := calibPlatform()
+	a, err := Calibrate(mcfg, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(mcfg, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result != b.Result {
+		t.Fatalf("calibration not deterministic: %+v vs %+v", a.Result, b.Result)
+	}
+}

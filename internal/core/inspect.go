@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/trace"
+)
+
+// GroupPlan is the planning outcome for one aggregation group, exposed
+// for inspection tools: the tree after remerging, and each domain's
+// placement.
+type GroupPlan struct {
+	Group      Group
+	Coverage   datatype.List
+	Tree       *Tree
+	Placements []*Placement
+	NodeOfRank []int // group rank -> node
+	Remerges   int
+}
+
+// InspectResult is the full static plan MCCIO would compute for a set
+// of rank views on a machine — everything but the data movement.
+type InspectResult struct {
+	Groups []Group
+	Plans  []GroupPlan
+}
+
+// Inspect runs MCCIO's planning pipeline (group division, workload
+// partition, remerging, aggregator location) outside the simulator,
+// for debugging and teaching. views[r] is rank r's file view; ranks map
+// to nodes block-wise on the machine.
+func (mc MCCIO) Inspect(machine *cluster.Machine, views []datatype.List) (*InspectResult, error) {
+	if err := mc.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(views)
+	if n == 0 || n > machine.NumRanks() {
+		return nil, fmt.Errorf("core: %d views for machine of %d ranks", n, machine.NumRanks())
+	}
+	bytesPer := make([]int64, n)
+	for r, v := range views {
+		bytesPer[r] = v.TotalBytes()
+	}
+	nodeOf := machine.NodeOfRank
+	msggroup := mc.Opts.Msggroup
+	if mc.Opts.DisableGroups {
+		msggroup = 0
+	}
+	groups := DivideGroupsMemAware(nodeOf, bytesPer, msggroup,
+		func(node int) int64 { return machine.Node(node).Available() }, mc.Opts.Memmin)
+
+	res := &InspectResult{Groups: groups}
+	for _, g := range groups {
+		memberSegs := make([]datatype.List, 0, g.Last-g.First+1)
+		nodeOfRank := make([]int, 0, g.Last-g.First+1)
+		var all datatype.List
+		for r := g.First; r <= g.Last; r++ {
+			memberSegs = append(memberSegs, views[r])
+			nodeOfRank = append(nodeOfRank, nodeOf(r))
+			all = append(all, views[r]...)
+		}
+		coverage := datatype.Normalize(all)
+		gp := GroupPlan{Group: g, Coverage: coverage, NodeOfRank: nodeOfRank}
+		if coverage.TotalBytes() > 0 {
+			nodeAvail := make(map[int]int64)
+			for _, node := range nodeOfRank {
+				nodeAvail[node] = machine.Node(node).Available()
+			}
+			maxAggs := MemoryAssignableAggregators(nodeOfRank, nodeAvail, mc.Opts.Nah, mc.Opts.Memmin)
+			msgind := mc.Opts.Msgind
+			if need := (coverage.TotalBytes() + int64(maxAggs) - 1) / int64(maxAggs); need > msgind {
+				msgind = need
+			}
+			gp.Tree = BuildTree(coverage, msgind, maxAggs)
+			var pm trace.Metrics
+			gp.Placements = newPlacer(gp.Tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm).Place()
+			gp.Remerges = pm.Remerges
+		}
+		res.Plans = append(res.Plans, gp)
+	}
+	return res, nil
+}
+
+// DumpTree renders the partition tree as indented ASCII, leaves marked
+// with their data volume.
+func DumpTree(t *Tree) string {
+	var b strings.Builder
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.String())
+		l, r := n.Children()
+		walk(l, depth+1)
+		walk(r, depth+1)
+	}
+	walk(t.Root(), 0)
+	return b.String()
+}
+
+// Summary renders the inspection as human-readable text.
+func (ir *InspectResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aggregation groups: %d\n", len(ir.Groups))
+	for gi, gp := range ir.Plans {
+		g := gp.Group
+		fmt.Fprintf(&b, "\ngroup %d: ranks [%d..%d] on %d node(s), %.2f MB requested\n",
+			gi, g.First, g.Last, g.Nodes, float64(g.Bytes)/1e6)
+		lo, hi := gp.Coverage.Extent()
+		fmt.Fprintf(&b, "  coverage: %d run(s) over file [%d, %d), %.2f MB data\n",
+			len(gp.Coverage), lo, hi, float64(gp.Coverage.TotalBytes())/1e6)
+		if gp.Tree == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  partition tree (%d leaves, %d remerges):\n", len(gp.Tree.Leaves()), gp.Remerges)
+		for _, line := range strings.Split(strings.TrimRight(DumpTree(gp.Tree), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+		fmt.Fprintf(&b, "  placements:\n")
+		for _, pl := range gp.Placements {
+			fmt.Fprintf(&b, "    domain [%d,%d) %.2f MB -> group-rank %d (node %d), buffer %.2f MB\n",
+				pl.Leaf.Lo, pl.Leaf.Hi, float64(pl.Leaf.DataBytes)/1e6,
+				pl.Agg, gp.NodeOfRank[pl.Agg], float64(pl.Buf)/1e6)
+		}
+	}
+	return b.String()
+}

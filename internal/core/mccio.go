@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/datatype"
+	"repro/internal/iolib"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/trace"
+)
+
+// Options are MCCIO's tunables. The paper determines the first three
+// empirically per platform (§3); DefaultOptions derives them from the
+// machine and file-system configuration the way the paper's calibration
+// procedure does, and the Disable* flags implement the ablations
+// DESIGN.md calls out.
+type Options struct {
+	// Msgind is the per-aggregator message size that saturates one
+	// storage stream: partition-tree leaves hold at most this much data.
+	Msgind int64
+	// Msggroup is the data volume per aggregation group; group division
+	// closes a group at the next node boundary once its members hold
+	// this much. <= 0 disables grouping (one global group).
+	Msggroup int64
+	// Nah is the maximum number of aggregators hosted per node.
+	Nah int
+	// Memmin is the minimum memory a node must have available to host
+	// an aggregator; a domain whose candidates all fall short is
+	// remerged with its neighbour.
+	Memmin int64
+
+	// NodeCombine enables the two-layer exchange: within each node,
+	// ranks funnel shuffle pieces to a node leader over the memory bus
+	// and only leaders cross the fabric — the intra-node/inter-node
+	// coordination the paper's abstract describes.
+	NodeCombine bool
+
+	// Ablations.
+	DisableGroups   bool // one global group regardless of Msggroup
+	DisableMemAware bool // rotate hosts instead of max-available-memory
+	DisableRemerge  bool // place on the best host even below Memmin
+}
+
+// Validate rejects unusable options.
+func (o Options) Validate() error {
+	if o.Msgind <= 0 {
+		return fmt.Errorf("core: Msgind must be positive, got %d", o.Msgind)
+	}
+	if o.Nah <= 0 {
+		return fmt.Errorf("core: Nah must be positive, got %d", o.Nah)
+	}
+	if o.Memmin < 0 {
+		return fmt.Errorf("core: negative Memmin %d", o.Memmin)
+	}
+	return nil
+}
+
+// DefaultOptions mirrors §3's calibration on the simulated platform:
+//
+//   - Msgind: the smallest request for which per-request overhead is
+//     under ~5% of service time (latency amortisation), rounded up to
+//     a stripe unit so domain boundaries align with OST boundaries.
+//   - Nah: aggregator streams needed to fill one node's injection
+//     bandwidth with Msgind-sized requests, bounded by cores.
+//   - Msggroup: data in flight needed to saturate the shared
+//     compute→storage pipe, spread over Nah-aggregator nodes.
+//   - Memmin: an aggregator below an eighth of Msgind thrashes in
+//     rounds; less than that and the domain should merge instead.
+func DefaultOptions(mc cluster.Config, fc pfs.Config) Options {
+	msgind := int64(20 * fc.OSTLatency * fc.OSTBW)
+	if msgind < fc.StripeUnit {
+		msgind = fc.StripeUnit
+	} else {
+		msgind = (msgind + fc.StripeUnit - 1) / fc.StripeUnit * fc.StripeUnit
+	}
+	nah := int(mc.NICBW / fc.OSTBW)
+	if nah < 1 {
+		nah = 1
+	}
+	if nah > mc.CoresPerNode {
+		nah = mc.CoresPerNode
+	}
+	streams := mc.IONetBW / fc.OSTBW
+	if streams < 1 {
+		streams = 1
+	}
+	msggroup := int64(streams) * msgind * 4
+	memmin := msgind / 8
+	if memmin < 256<<10 {
+		memmin = 256 << 10
+	}
+	return Options{Msgind: msgind, Msggroup: msggroup, Nah: nah, Memmin: memmin}
+}
+
+// MCCIO is the memory-conscious collective I/O strategy.
+type MCCIO struct {
+	Opts Options
+}
+
+// Name implements iolib.Collective.
+func (mc MCCIO) Name() string { return "mccio" }
+
+// rankMeta is the global metadata each rank contributes before group
+// division: its extent, request volume, node, and the node's available
+// aggregation memory.
+type rankMeta struct {
+	Ext       collio.Ext
+	Bytes     int64
+	Node      int
+	NodeAvail int64
+	NumSegs   int
+}
+
+const rankMetaBytes = 48
+
+// segsMsg carries a rank's full (group-clipped) request list during the
+// in-group view exchange.
+type segsMsg struct {
+	segs datatype.List
+}
+
+// WriteAll implements iolib.Collective.
+func (mc MCCIO) WriteAll(f *iolib.File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics) {
+	mc.run("write", f, c, view, data, m)
+}
+
+// ReadAll implements iolib.Collective.
+func (mc MCCIO) ReadAll(f *iolib.File, c *mpi.Comm, view datatype.List, dst buffer.Buf, m *trace.Metrics) {
+	mc.run("read", f, c, view, dst, m)
+}
+
+func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics) {
+	if err := mc.Opts.Validate(); err != nil {
+		panic(err)
+	}
+	machine := c.World().Machine()
+	lo, hi := view.Extent()
+	meta := rankMeta{
+		Ext:       collio.Ext{Lo: lo, Hi: hi},
+		Bytes:     view.TotalBytes(),
+		Node:      c.NodeOf(c.Rank()),
+		NodeAvail: machine.Node(c.NodeOf(c.Rank())).Available(),
+		NumSegs:   len(view),
+	}
+	raw := c.Allgather(meta, rankMetaBytes)
+	metas := make([]rankMeta, len(raw))
+	bytesPer := make([]int64, len(raw))
+	for i, v := range raw {
+		metas[i] = v.(rankMeta)
+		bytesPer[i] = metas[i].Bytes
+	}
+
+	// Aggregation Group Division.
+	msggroup := mc.Opts.Msggroup
+	if mc.Opts.DisableGroups {
+		msggroup = 0
+	}
+	nodeAvailOf := func(node int) int64 {
+		for _, mt := range metas {
+			if mt.Node == node {
+				return mt.NodeAvail
+			}
+		}
+		return 0
+	}
+	groups := DivideGroupsMemAware(func(r int) int { return metas[r].Node }, bytesPer, msggroup,
+		nodeAvailOf, mc.Opts.Memmin)
+	colors := ColorOf(groups, c.Size())
+	m.SetGroups(len(groups))
+	sub := c.Split(colors[c.Rank()], 0)
+	g := groups[colors[c.Rank()]]
+
+	// In-group exchange of full request lists: the group root learns
+	// the group's aggregate pattern, computes coverage, partition tree,
+	// remerges and placement once, and broadcasts the resulting plan —
+	// the "let the aggregators know the entire aggregated I/O requests"
+	// step, paid once per group instead of once per process.
+	segsRaw := sub.Gather(0, segsMsg{segs: view}, int64(len(view))*16+8)
+	var plan *collio.Plan
+	remerges := 0
+	if sub.Rank() == 0 {
+		memberSegs := make([]datatype.List, sub.Size())
+		nodeOfRank := make([]int, sub.Size())
+		var all datatype.List
+		for i, v := range segsRaw {
+			memberSegs[i] = v.(segsMsg).segs
+			nodeOfRank[i] = sub.NodeOf(i)
+			all = append(all, memberSegs[i]...)
+		}
+		coverage := datatype.Normalize(all)
+
+		// Exact writes: groups aggregate disjoint data that interleaves
+		// in the file, so an extent RMW in one group could overwrite
+		// another group's concurrent writes with stale bytes.
+		plan = &collio.Plan{Exts: make([]collio.Ext, sub.Size()), ExactWrite: true, NodeCombine: mc.Opts.NodeCombine}
+		for i, segs := range memberSegs {
+			l, h := segs.Extent()
+			plan.Exts[i] = collio.Ext{Lo: l, Hi: h}
+		}
+
+		if coverage.TotalBytes() > 0 {
+			// Aggregator Location works from the consistent availability
+			// snapshot of the global allgather.
+			nodeAvail := make(map[int]int64)
+			for _, mt := range metas[g.First : g.Last+1] {
+				nodeAvail[mt.Node] = mt.NodeAvail
+			}
+			// I/O Workload Partition: leaves hold <= msgind data, but
+			// never more leaves than the group can field aggregators —
+			// counting only slots the nodes can back with Memmin memory,
+			// so the tree is born balanced for what placement can host
+			// instead of being remerged into shape leaf by leaf.
+			maxAggs := MemoryAssignableAggregators(nodeOfRank, nodeAvail, mc.Opts.Nah, mc.Opts.Memmin)
+			msgind := mc.Opts.Msgind
+			if need := (coverage.TotalBytes() + int64(maxAggs) - 1) / int64(maxAggs); need > msgind {
+				msgind = need
+			}
+			tree := BuildTree(coverage, msgind, maxAggs)
+			var pm trace.Metrics
+			placements := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm).Place()
+			remerges = pm.Remerges
+
+			for _, pl := range placements {
+				domCov := coverage.Clip(pl.Leaf.Lo, pl.Leaf.Hi)
+				plan.Domains = append(plan.Domains, collio.Domain{
+					Agg: pl.Agg, Lo: pl.Leaf.Lo, Hi: pl.Leaf.Hi,
+					BufBytes: pl.Buf,
+					Windows:  collio.CoverageWindows(domCov, pl.Buf),
+				})
+			}
+			plan.Rounds = maxRoundsOf(plan)
+		}
+	}
+	plan = sub.Bcast(0, plan, planWireBytes(plan)).(*collio.Plan)
+	for i := 0; i < remerges; i++ {
+		m.AddRemerge()
+	}
+	var myBuf int64
+	for _, d := range plan.Domains {
+		if d.Agg == sub.Rank() {
+			myBuf = d.BufBytes
+		}
+	}
+
+	// Charge my aggregation buffer, run the two-phase rounds in-group,
+	// release.
+	var node *cluster.Node
+	if myBuf > 0 {
+		node = machine.Node(c.NodeOf(c.Rank()))
+		if !node.Alloc(myBuf) {
+			node.MustAlloc(myBuf)
+		}
+	}
+	vi := iolib.NewViewIndex(view)
+	switch op {
+	case "write":
+		collio.ExecuteWrite(f, sub, vi, data, plan, m)
+	case "read":
+		collio.ExecuteRead(f, sub, vi, data, plan, m)
+	}
+	if node != nil {
+		node.Free(myBuf)
+	}
+}
+
+// planWireBytes estimates the broadcast size of a plan: per-domain
+// header plus windows plus per-rank extents. nil (non-root) plans cost
+// nothing; Bcast charges only the root's payload.
+func planWireBytes(p *collio.Plan) int64 {
+	if p == nil {
+		return 0
+	}
+	n := int64(len(p.Exts)) * 16
+	for _, d := range p.Domains {
+		n += 40 + int64(len(d.Windows))*16
+	}
+	return n
+}
+
+// maxRoundsOf returns the maximum window count across domains.
+func maxRoundsOf(p *collio.Plan) int {
+	r := 0
+	for _, d := range p.Domains {
+		if len(d.Windows) > r {
+			r = len(d.Windows)
+		}
+	}
+	return r
+}

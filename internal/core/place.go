@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collio"
+	"repro/internal/datatype"
+	"repro/internal/trace"
+)
+
+// Placement binds one file domain (a partition-tree leaf) to its
+// aggregator and aggregation buffer.
+type Placement struct {
+	Leaf *TreeNode
+	Agg  int   // group-comm rank of the aggregator
+	Buf  int64 // aggregation buffer, charged on the aggregator's node
+}
+
+// hostState tracks one candidate node during placement.
+type hostState struct {
+	node      int
+	avail     int64 // memory still uncommitted on this node
+	aggs      int   // aggregators already placed here
+	ranks     []int // group-comm ranks living on this node, ascending
+	nextRank  int   // round-robin cursor into ranks
+	rankIsAgg map[int]bool
+}
+
+// placer runs Aggregator Location (§3.3) with Workload Portion
+// Remerging (§3.2) for one aggregation group.
+type placer struct {
+	tree       *Tree
+	memberSegs []datatype.List // per group rank, clipped to the group
+	nodeOfRank []int           // group rank -> physical node id
+	hosts      map[int]*hostState
+	hostOrder  []int // deterministic iteration order of hosts
+	opts       Options
+	metrics    *trace.Metrics
+	effSlots   int // expected aggregators per node this group will field
+
+	placed map[*TreeNode]*Placement
+}
+
+// newPlacer snapshots per-node availability. nodeAvail is the
+// consistent view every rank obtained from the same allgather.
+func newPlacer(tree *Tree, memberSegs []datatype.List, nodeOfRank []int, nodeAvail map[int]int64, opts Options, m *trace.Metrics) *placer {
+	p := &placer{
+		tree:       tree,
+		memberSegs: memberSegs,
+		nodeOfRank: nodeOfRank,
+		hosts:      make(map[int]*hostState),
+		opts:       opts,
+		metrics:    m,
+		placed:     make(map[*TreeNode]*Placement),
+	}
+	for r, node := range nodeOfRank {
+		h := p.hosts[node]
+		if h == nil {
+			h = &hostState{node: node, avail: nodeAvail[node], rankIsAgg: make(map[int]bool)}
+			p.hosts[node] = h
+			p.hostOrder = append(p.hostOrder, node)
+		}
+		h.ranks = append(h.ranks, r)
+	}
+	sort.Ints(p.hostOrder)
+	return p
+}
+
+// candidates returns the hosts of processes whose requests fall inside
+// the leaf's file domain and that can still take an aggregator, in
+// deterministic node order.
+func (p *placer) candidates(leaf *TreeNode) []*hostState {
+	inDomain := make(map[int]bool)
+	for r, segs := range p.memberSegs {
+		if len(segs.Clip(leaf.Lo, leaf.Hi)) > 0 {
+			inDomain[p.nodeOfRank[r]] = true
+		}
+	}
+	var out []*hostState
+	for _, node := range p.hostOrder {
+		h := p.hosts[node]
+		if inDomain[node] && h.aggs < p.opts.Nah {
+			out = append(out, h)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// Every data-owning host is saturated (or the leaf covers no
+	// member's data after a remerge cascade): fall back to any host
+	// with capacity so the domain is still served.
+	for _, node := range p.hostOrder {
+		if h := p.hosts[node]; h.aggs < p.opts.Nah {
+			out = append(out, h)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// Truly saturated group: allow overflowing Nah rather than failing.
+	for _, node := range p.hostOrder {
+		out = append(out, p.hosts[node])
+	}
+	return out
+}
+
+// choose picks the aggregator host for a leaf: the candidate with
+// maximum available memory (§3.3), or — for the ablation that disables
+// memory awareness — simple rotation over candidates.
+func (p *placer) choose(leaf *TreeNode, cands []*hostState) *hostState {
+	if p.opts.DisableMemAware {
+		// ROMIO-like obliviousness: rotate by leaf position.
+		idx := 0
+		for i, l := range p.tree.Leaves() {
+			if l == leaf {
+				idx = i
+				break
+			}
+		}
+		return cands[idx%len(cands)]
+	}
+	best := cands[0]
+	for _, h := range cands[1:] {
+		if h.avail > best.avail {
+			best = h
+		}
+	}
+	return best
+}
+
+// Place assigns every current leaf an aggregator, remerging leaves
+// whose candidates cannot offer Memmin. It returns placements in file
+// order.
+func (p *placer) Place() []*Placement {
+	// How many aggregators will actually land per node: budgeting a
+	// node's memory over Nah slots when only one or two domains will
+	// ever live there wastes most of it.
+	p.effSlots = (len(p.tree.Leaves()) + len(p.hostOrder) - 1) / len(p.hostOrder)
+	if p.effSlots < 1 {
+		p.effSlots = 1
+	}
+	if p.effSlots > p.opts.Nah {
+		p.effSlots = p.opts.Nah
+	}
+	guard := 0
+	for {
+		guard++
+		if guard > 1<<16 {
+			panic("core: placement did not converge")
+		}
+		leaf := p.nextUnplaced()
+		if leaf == nil {
+			break
+		}
+		cands := p.candidates(leaf)
+		host := p.choose(leaf, cands)
+		// An aggregator may claim only its share of the host's remaining
+		// budget: the memory left divided by the aggregator slots left
+		// (§3: "each node uses N_ah I/O aggregators with Msg_ind message
+		// size"). Letting the first aggregator drain the node would
+		// starve the other slots and cascade needless remerges.
+		share := p.share(host)
+		if share < p.opts.Memmin && !p.opts.DisableRemerge && len(p.tree.Leaves()) > 1 {
+			// Not enough aggregation memory anywhere this domain's data
+			// lives: merge it into the neighbouring domain and retry
+			// (§3.2). The takeover leaf may already be placed — its
+			// domain simply grew and its window schedule will stretch.
+			var sib *TreeNode
+			if par := leaf.Parent(); par != nil {
+				if l, r := par.Children(); l == leaf {
+					sib = r
+				} else {
+					sib = l
+				}
+			}
+			taker := p.tree.RemoveLeaf(leaf)
+			p.metrics.AddRemerge()
+			// Fig 5a turns the parent into the merged leaf, retiring the
+			// placed sibling's vertex: carry the placement over so the
+			// aggregator it claimed keeps serving the merged domain.
+			if sib != nil && taker != sib {
+				if sibPl := p.placed[sib]; sibPl != nil {
+					delete(p.placed, sib)
+					sibPl.Leaf = taker
+					p.placed[taker] = sibPl
+				}
+			}
+			continue
+		}
+		buf := leaf.DataBytes
+		if buf > share {
+			buf = share
+		}
+		if buf < collio.BufFloor {
+			buf = collio.BufFloor
+		}
+		agg := p.pickRank(host)
+		if buf > host.avail {
+			host.avail = 0
+		} else {
+			host.avail -= buf
+		}
+		host.aggs++
+		p.placed[leaf] = &Placement{Leaf: leaf, Agg: agg, Buf: buf}
+	}
+	leaves := p.tree.Leaves()
+	out := make([]*Placement, 0, len(leaves))
+	for _, l := range leaves {
+		pl := p.placed[l]
+		if pl == nil {
+			panic(fmt.Sprintf("core: leaf %v left unplaced", l))
+		}
+		out = append(out, pl)
+	}
+	return out
+}
+
+// share returns the memory an additional aggregator may claim on a
+// host: the remaining budget split over the remaining expected slots.
+func (p *placer) share(h *hostState) int64 {
+	slots := p.effSlots - h.aggs
+	if slots < 1 {
+		slots = 1
+	}
+	return h.avail / int64(slots)
+}
+
+// nextUnplaced returns the first leaf (file order) without a placement.
+func (p *placer) nextUnplaced() *TreeNode {
+	for _, l := range p.tree.Leaves() {
+		if p.placed[l] == nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// pickRank selects the aggregator process on a host: the next rank not
+// yet aggregating, in round-robin order so N_ah aggregators spread over
+// distinct cores.
+func (p *placer) pickRank(h *hostState) int {
+	for i := 0; i < len(h.ranks); i++ {
+		r := h.ranks[(h.nextRank+i)%len(h.ranks)]
+		if !h.rankIsAgg[r] {
+			h.nextRank = (h.nextRank + i + 1) % len(h.ranks)
+			h.rankIsAgg[r] = true
+			return r
+		}
+	}
+	// All ranks on the host already aggregate (possible only when the
+	// engine later rejects duplicate domains — callers bound leaves by
+	// assignable aggregators, so this is a defensive fallback).
+	r := h.ranks[h.nextRank]
+	h.nextRank = (h.nextRank + 1) % len(h.ranks)
+	return r
+}
+
+// AssignableAggregators returns how many distinct aggregator processes
+// a group can field: at most Nah per node and one per process.
+func AssignableAggregators(nodeOfRank []int, nah int) int {
+	perNode := make(map[int]int)
+	total := 0
+	for _, node := range nodeOfRank {
+		if perNode[node] < nah {
+			perNode[node]++
+			total++
+		}
+	}
+	return total
+}
+
+// MemoryAssignableAggregators additionally respects each node's
+// available memory: a node fields at most avail/memmin aggregator
+// slots, since anything beyond that could not be given Memmin bytes.
+// At least one slot overall is always reported so a fully starved
+// group still makes progress (with a floor-sized buffer).
+func MemoryAssignableAggregators(nodeOfRank []int, nodeAvail map[int]int64, nah int, memmin int64) int {
+	perNodeLimit := make(map[int]int)
+	for node, avail := range nodeAvail {
+		slots := nah
+		if memmin > 0 {
+			byMem := int(avail / memmin)
+			if byMem < slots {
+				slots = byMem
+			}
+		}
+		perNodeLimit[node] = slots
+	}
+	perNode := make(map[int]int)
+	total := 0
+	for _, node := range nodeOfRank {
+		if perNode[node] < perNodeLimit[node] {
+			perNode[node]++
+			total++
+		}
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}

@@ -1,0 +1,274 @@
+// Package core implements Memory-Conscious Collective I/O (MCCIO), the
+// paper's contribution. It enhances two-phase collective I/O with four
+// components:
+//
+//   - Aggregation Group Division (§3.1): the I/O workload is divided
+//     into disjoint subgroups aligned to physical-node boundaries and
+//     sized by the optimal group message size Msg_group; all shuffle
+//     traffic stays inside a subgroup.
+//   - I/O Workload Partition (§3.2): within a group, the aggregate
+//     file region is recursively bisected into a binary partition tree
+//     whose leaves are file domains holding at most Msg_ind bytes of
+//     requested data.
+//   - Workload Portion Remerging (§3.2): a file domain that cannot be
+//     hosted (no candidate node has Mem_min available) leaves the tree,
+//     its region taken over by the neighbouring leaf (sibling-leaf
+//     takeover, Fig 5a, or directional DFS into the sibling subtree,
+//     Fig 5b).
+//   - Aggregator Location (§3.3): each file domain's aggregator is
+//     placed on the candidate host with maximum available memory,
+//     subject to at most N_ah aggregators per host.
+//
+// The resulting plan runs on the same two-phase round engine as the
+// baseline (internal/collio), which is exactly how the paper frames
+// MCCIO: a new planner for the existing protocol.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+)
+
+// TreeNode is a vertex of the binary partition tree. Every vertex
+// represents a non-overlapping portion [Lo, Hi) of the group's file
+// region; leaves are the current file domains.
+type TreeNode struct {
+	Lo, Hi    int64
+	DataBytes int64 // requested bytes covered inside [Lo, Hi)
+
+	parent      *TreeNode
+	left, right *TreeNode
+}
+
+// IsLeaf reports whether the vertex is a current file domain.
+func (n *TreeNode) IsLeaf() bool { return n.left == nil && n.right == nil }
+
+// Parent returns the parent vertex (nil at the root).
+func (n *TreeNode) Parent() *TreeNode { return n.parent }
+
+// Children returns the left and right children (nil for leaves).
+func (n *TreeNode) Children() (*TreeNode, *TreeNode) { return n.left, n.right }
+
+func (n *TreeNode) String() string {
+	kind := "leaf"
+	if !n.IsLeaf() {
+		kind = "node"
+	}
+	return fmt.Sprintf("%s[%d,%d) data=%d", kind, n.Lo, n.Hi, n.DataBytes)
+}
+
+// Tree is the binary partition tree of one aggregation group's file
+// region.
+type Tree struct {
+	root     *TreeNode
+	coverage datatype.List // the group's aggregate request coverage
+}
+
+// BuildTree recursively bisects the coverage's extent until every leaf
+// holds at most msgind covered bytes, producing at most maxLeaves
+// leaves. Bisection balances *data*, not offsets: each split point is
+// the file offset at which half the portion's covered bytes lie to the
+// left, so sparse and dense regions get equally loaded domains.
+func BuildTree(coverage datatype.List, msgind int64, maxLeaves int) *Tree {
+	if msgind <= 0 {
+		panic(fmt.Sprintf("core: msgind %d", msgind))
+	}
+	if maxLeaves < 1 {
+		maxLeaves = 1
+	}
+	lo, hi := coverage.Extent()
+	root := &TreeNode{Lo: lo, Hi: hi, DataBytes: coverage.TotalBytes()}
+	t := &Tree{root: root, coverage: coverage}
+	t.split(root, msgind, maxLeaves)
+	return t
+}
+
+// split bisects n until its leaves satisfy the termination criterion,
+// spending at most budget leaves.
+func (t *Tree) split(n *TreeNode, msgind int64, budget int) {
+	if n.DataBytes <= msgind || budget <= 1 {
+		return
+	}
+	cut := t.halfDataOffset(n)
+	if cut <= n.Lo || cut >= n.Hi {
+		return // cannot bisect further (single byte of extent)
+	}
+	leftData := t.coverage.Clip(n.Lo, cut).TotalBytes()
+	rightData := n.DataBytes - leftData
+	if leftData == 0 || rightData == 0 {
+		return // degenerate cut; keep as leaf
+	}
+	n.left = &TreeNode{Lo: n.Lo, Hi: cut, DataBytes: leftData, parent: n}
+	n.right = &TreeNode{Lo: cut, Hi: n.Hi, DataBytes: rightData, parent: n}
+	lb := budget / 2
+	rb := budget - lb
+	t.split(n.left, msgind, lb)
+	t.split(n.right, msgind, rb)
+}
+
+// halfDataOffset returns the offset splitting n's covered bytes in two.
+func (t *Tree) halfDataOffset(n *TreeNode) int64 {
+	cov := t.coverage.Clip(n.Lo, n.Hi)
+	half := (n.DataBytes + 1) / 2
+	var acc int64
+	for _, s := range cov {
+		if acc+s.Len >= half {
+			cut := s.Off + (half - acc)
+			// Snap to a segment edge when the cut lands at one; keeps
+			// domains aligned to request boundaries where possible.
+			if cut > s.End() {
+				cut = s.End()
+			}
+			return cut
+		}
+		acc += s.Len
+	}
+	return n.Hi
+}
+
+// Root returns the root vertex.
+func (t *Tree) Root() *TreeNode { return t.root }
+
+// Coverage returns the group coverage the tree was built from.
+func (t *Tree) Coverage() datatype.List { return t.coverage }
+
+// Leaves returns the current file domains in file order.
+func (t *Tree) Leaves() []*TreeNode {
+	var out []*TreeNode
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// RemoveLeaf removes leaf a from the tree — the Workload Portion
+// Remerging operation. It returns the leaf that took over a's region:
+//
+//   - If a's sibling b is a leaf (Fig 5a), the parent becomes a leaf
+//     owned by b: the two regions merge into one domain.
+//   - If b is internal (Fig 5b), a depth-first search inside b's
+//     subtree finds the leaf adjacent to a (leftmost leaf when a was
+//     the left sibling, rightmost when right); that leaf c absorbs a's
+//     region, the parent vertex leaves the tree, and the extents along
+//     c's spine stretch to cover the absorbed region.
+//
+// It panics when a is not a leaf or is the root (the last domain of a
+// group cannot be removed; the caller must keep at least one).
+func (t *Tree) RemoveLeaf(a *TreeNode) *TreeNode {
+	if !a.IsLeaf() {
+		panic(fmt.Sprintf("core: RemoveLeaf on internal vertex %v", a))
+	}
+	p := a.parent
+	if p == nil {
+		panic("core: cannot remove the only domain of a group")
+	}
+	b := p.left
+	aIsLeft := false
+	if b == a {
+		b = p.right
+		aIsLeft = true
+	}
+
+	if b.IsLeaf() {
+		// Fig 5a: parent becomes the merged leaf.
+		p.left, p.right = nil, nil
+		p.DataBytes = a.DataBytes + b.DataBytes
+		return p
+	}
+
+	// Fig 5b: contract p (replace it with b), then stretch the spine.
+	gp := p.parent
+	b.parent = gp
+	if gp == nil {
+		t.root = b
+	} else if gp.left == p {
+		gp.left = b
+	} else {
+		gp.right = b
+	}
+	// Stretch b's subtree toward a's side and descend to the adjacent
+	// leaf, extending every vertex on the way.
+	c := b
+	for {
+		if aIsLeft {
+			c.Lo = a.Lo
+		} else {
+			c.Hi = a.Hi
+		}
+		c.DataBytes += a.DataBytes
+		if c.IsLeaf() {
+			return c
+		}
+		if aIsLeft {
+			c = c.left
+		} else {
+			c = c.right
+		}
+	}
+}
+
+// CheckInvariants verifies the partition-tree structural invariants:
+// children tile their parent exactly, data adds up, leaves tile the
+// root in order. Tests and debug assertions use it.
+func (t *Tree) CheckInvariants() error {
+	var err error
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n == nil || err != nil {
+			return
+		}
+		if (n.left == nil) != (n.right == nil) {
+			err = fmt.Errorf("vertex %v has exactly one child", n)
+			return
+		}
+		if n.left != nil {
+			l, r := n.left, n.right
+			if l.Lo != n.Lo || r.Hi != n.Hi || l.Hi != r.Lo {
+				err = fmt.Errorf("children of %v do not tile it: %v + %v", n, l, r)
+				return
+			}
+			if l.DataBytes+r.DataBytes != n.DataBytes {
+				err = fmt.Errorf("data of %v != children sum %d+%d", n, l.DataBytes, r.DataBytes)
+				return
+			}
+			if l.parent != n || r.parent != n {
+				err = fmt.Errorf("broken parent pointers under %v", n)
+				return
+			}
+			walk(l)
+			walk(r)
+		}
+	}
+	walk(t.root)
+	if err != nil {
+		return err
+	}
+	leaves := t.Leaves()
+	prev := t.root.Lo
+	var data int64
+	for _, l := range leaves {
+		if l.Lo != prev {
+			return fmt.Errorf("leaf %v does not start at previous end %d", l, prev)
+		}
+		prev = l.Hi
+		data += l.DataBytes
+	}
+	if prev != t.root.Hi {
+		return fmt.Errorf("leaves end at %d, root at %d", prev, t.root.Hi)
+	}
+	if data != t.root.DataBytes {
+		return fmt.Errorf("leaf data %d != root data %d", data, t.root.DataBytes)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package iolib is the MPI-IO-like middleware layer: file handles over
+// the simulated parallel file system, file views (noncontiguous access
+// patterns bound to a flat local buffer), independent I/O with data
+// sieving, and the Collective strategy interface that the baseline
+// two-phase implementation and the memory-conscious implementation both
+// satisfy.
+package iolib
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// File is a parallel-file handle shared by all ranks of a collective
+// operation (each rank holds the same *File; the underlying simulated
+// storage is engine-serialized, so no locking is needed).
+type File struct {
+	pf *pfs.File
+}
+
+// Open returns a handle on name within fs, creating the file if needed.
+func Open(fs *pfs.FS, name string) *File {
+	return &File{pf: fs.Open(name)}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.pf.Name() }
+
+// Size returns one past the highest byte written.
+func (f *File) Size() int64 { return f.pf.Size() }
+
+// WriteAt writes buf at off on behalf of rank, blocking p for the
+// simulated duration.
+func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) float64 {
+	return f.pf.WriteAt(p, rank, off, buf)
+}
+
+// ReadAt fills dst from off on behalf of rank, blocking p for the
+// simulated duration.
+func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) float64 {
+	return f.pf.ReadAt(p, rank, off, dst)
+}
+
+// WriteVec writes several (offset, payload) runs as one pipelined batch.
+func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Buf) float64 {
+	return f.pf.WriteVec(p, rank, offs, bufs)
+}
+
+// ReadVec fills several (offset, destination) runs as one pipelined batch.
+func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Buf) float64 {
+	return f.pf.ReadVec(p, rank, offs, bufs)
+}
+
+// Collective is a collective I/O strategy. view is the calling rank's
+// file access pattern (canonical segment list); data is the rank's flat
+// local buffer laid out as the concatenation of view's segments in file
+// order. All ranks of c must call the same method with consistent
+// arguments (the SPMD contract). Implementations fill m when non-nil.
+type Collective interface {
+	Name() string
+	WriteAll(f *File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics)
+	ReadAll(f *File, c *mpi.Comm, view datatype.List, dst buffer.Buf, m *trace.Metrics)
+}
+
+// Run executes one collective operation under barriers and returns the
+// harness-level result: elapsed virtual time between the moment all
+// ranks have entered and the moment all have left. op is "write" or
+// "read". Exactly one rank (rank 0) receives the filled Result; other
+// ranks receive a zero Result.
+func Run(s Collective, op string, f *File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics) trace.Result {
+	c.Barrier()
+	start := c.Now()
+	switch op {
+	case "write":
+		s.WriteAll(f, c, view, data, m)
+	case "read":
+		s.ReadAll(f, c, view, data, m)
+	default:
+		panic("iolib: op must be \"write\" or \"read\"")
+	}
+	c.Barrier()
+	end := c.Now()
+	bytes := c.AllreduceInt64(view.TotalBytes(), mpi.SumInt64)
+	// Metrics are per-rank; fold them so rank 0's Result is global.
+	var local trace.Metrics
+	if m != nil {
+		local = *m
+	}
+	all := c.Gather(0, local, 128)
+	if c.Rank() != 0 {
+		return trace.Result{}
+	}
+	var merged trace.Metrics
+	for _, v := range all {
+		merged.Merge(v.(trace.Metrics))
+	}
+	r := trace.Result{Bytes: bytes, Elapsed: end - start}
+	r.Metrics = merged
+	r.Metrics.Strategy = s.Name()
+	r.Metrics.Op = op
+	return r
+}

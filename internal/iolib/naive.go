@@ -1,0 +1,34 @@
+package iolib
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Naive is the no-coordination comparator: every rank performs its own
+// independent (data-sieved) I/O. It satisfies Collective so harnesses
+// can sweep it alongside the real strategies; the paper's §2 argument —
+// independent I/O can't exploit cross-process request structure — shows
+// up as its poor bandwidth on interleaved patterns.
+type Naive struct {
+	Opts SieveOptions
+}
+
+// Name implements Collective.
+func (n Naive) Name() string { return "independent" }
+
+// WriteAll implements Collective.
+func (n Naive) WriteAll(f *File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics) {
+	t0 := c.Now()
+	f.WriteIndependent(c.Proc(), c.WorldRank(c.Rank()), view, data, n.Opts)
+	m.AddIO(view.TotalBytes(), 0, c.Now()-t0)
+}
+
+// ReadAll implements Collective.
+func (n Naive) ReadAll(f *File, c *mpi.Comm, view datatype.List, dst buffer.Buf, m *trace.Metrics) {
+	t0 := c.Now()
+	f.ReadIndependent(c.Proc(), c.WorldRank(c.Rank()), view, dst, n.Opts)
+	m.AddIO(view.TotalBytes(), 0, c.Now()-t0)
+}

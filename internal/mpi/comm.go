@@ -1,0 +1,375 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/simtime"
+)
+
+// Tag limits: user tags live below userTagSpace; internal collective
+// tags are derived above it from a per-communicator sequence number, so
+// a collective never collides with user point-to-point traffic.
+const userTagSpace = 1 << 16
+
+// Comm is a communicator: an ordered group of processes with a private
+// context, exactly one per process per communicator. All collective
+// methods must be called by every member in the same order (the usual
+// SPMD contract); the runtime deadlocks — and the engine reports which
+// ranks are stuck — if the contract is broken.
+type Comm struct {
+	w        *World
+	p        *simtime.Proc
+	ctx      uint64
+	rank     int   // my rank within this communicator
+	group    []int // comm rank -> world rank
+	splitSeq int   // lockstep counter deriving split contexts
+}
+
+// Rank returns the caller's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank maps a communicator rank to its world rank.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// Proc returns the simulated process.
+func (c *Comm) Proc() *simtime.Proc { return c.p }
+
+// World returns the owning world.
+func (c *Comm) World() *World { return c.w }
+
+// NodeOf returns the physical node hosting communicator rank r.
+func (c *Comm) NodeOf(r int) int { return c.w.machine.NodeOfRank(c.group[r]) }
+
+// Now returns the caller's virtual time.
+func (c *Comm) Now() float64 { return c.p.Now() }
+
+func (c *Comm) checkRank(r int, what string) {
+	if r < 0 || r >= len(c.group) {
+		panic(fmt.Sprintf("mpi: %s rank %d out of comm size %d", what, r, len(c.group)))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= userTagSpace {
+		panic(fmt.Sprintf("mpi: user tag %d out of [0,%d)", tag, userTagSpace))
+	}
+}
+
+// Send transfers a payload buffer to dst. The caller blocks while
+// injecting through its node's memory bus and NIC; delivery completes
+// asynchronously.
+func (c *Comm) Send(dst, tag int, buf buffer.Buf) {
+	c.checkRank(dst, "send")
+	c.checkTag(tag)
+	c.w.deliver(c.p, c.group[c.rank], c.group[dst], c.ctx, tag, message{payload: buf, bytes: buf.Len()})
+}
+
+// Recv blocks until the matching buffer from src arrives and returns it.
+func (c *Comm) Recv(src, tag int) buffer.Buf {
+	c.checkRank(src, "recv")
+	c.checkTag(tag)
+	return c.recvAny(src, tag).(buffer.Buf)
+}
+
+// SendVal transfers an arbitrary metadata value charged at bytes.
+// Strategies use it for offset lists and control records whose wire
+// size is known but which would be noise to serialize for real.
+func (c *Comm) SendVal(dst, tag int, v any, bytes int64) {
+	c.checkRank(dst, "send")
+	c.checkTag(tag)
+	c.w.deliver(c.p, c.group[c.rank], c.group[dst], c.ctx, tag, message{payload: v, bytes: bytes})
+}
+
+// RecvVal blocks until the matching metadata value from src arrives.
+func (c *Comm) RecvVal(src, tag int) any {
+	c.checkRank(src, "recv")
+	c.checkTag(tag)
+	return c.recvAny(src, tag)
+}
+
+// recvAny pulls the next message on (src→me, tag) in this context.
+func (c *Comm) recvAny(src, tag int) any {
+	k := msgKey{src: c.group[src], dst: c.group[c.rank], ctx: c.ctx, tag: tag}
+	m := c.w.box(k).Get(c.p)
+	return m.payload
+}
+
+// internal send/recv on the collective tag space.
+func (c *Comm) isend(dst, tag int, v any, bytes int64) {
+	c.w.deliver(c.p, c.group[c.rank], c.group[dst], c.ctx, tag, message{payload: v, bytes: bytes})
+}
+
+func (c *Comm) irecv(src, tag int) any {
+	k := msgKey{src: c.group[src], dst: c.group[c.rank], ctx: c.ctx, tag: tag}
+	return c.w.box(k).Get(c.p).payload
+}
+
+// Internal collective tag blocks. Tags are FIXED per collective type
+// rather than drawn from a per-call sequence: within one communicator
+// context, (src,dst,tag) delivery is FIFO and arrival times are
+// monotone, and the SPMD contract means both ends issue collectives in
+// the same order — so successive collectives of the same type reuse
+// their mailboxes safely. Bounded tags keep the mailbox table small
+// (a fresh tag per call made it grow with every round of two-phase
+// I/O, which dominated large-run memory and GC time).
+const (
+	tagBarrier   = userTagSpace
+	tagBcast     = userTagSpace + 1
+	tagGather    = userTagSpace + 2
+	tagReduce    = userTagSpace + 3
+	tagAllgather = userTagSpace + 64 // + stepTag(step)
+	tagAlltoall  = userTagSpace + 128
+	tagSplit     = userTagSpace + 192
+)
+
+// tokenBytes is the charged size of a zero-data control token.
+const tokenBytes = 8
+
+// Barrier blocks until all members arrive. The release time models the
+// dissemination algorithm — the last arriver plus ⌈log₂ p⌉ token hops —
+// but uses the engine's native barrier instead of 2·p·log p simulated
+// token messages, which dominated host time in large runs. Token
+// bandwidth is negligible (8 bytes/hop); the straggler semantics (all
+// wait for the slowest) are preserved exactly.
+func (c *Comm) Barrier() {
+	p := len(c.group)
+	if p == 1 {
+		return
+	}
+	c.w.barrierFor(c.ctx, p).Await(c.p)
+	steps := 0
+	for dist := 1; dist < p; dist *= 2 {
+		steps++
+	}
+	cfg := c.w.machine.Config()
+	hop := 2*cfg.NICLat + cfg.BisectionLat + 2*cfg.MemBusLat
+	c.p.Sleep(float64(steps) * hop)
+}
+
+// bcastMsg carries the payload size alongside the value so forwarding
+// members charge the root's size, not their own (meaningless) argument.
+type bcastMsg struct {
+	v     any
+	bytes int64
+}
+
+// Bcast distributes root's value to every member along a binomial tree
+// and returns it. bytes is the charged payload size (only the root's
+// argument matters).
+func (c *Comm) Bcast(root int, v any, bytes int64) any {
+	c.checkRank(root, "bcast root")
+	p := len(c.group)
+	const tag = tagBcast
+	if p == 1 {
+		return v
+	}
+	rel := (c.rank - root + p) % p
+	// Receive from parent (highest set bit of rel).
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			got := c.irecv(src, tag).(bcastMsg)
+			v, bytes = got.v, got.bytes
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	for mask > 0 {
+		if rel&mask == 0 && rel+mask < p {
+			dst := (rel + mask + root) % p
+			c.isend(dst, tag, bcastMsg{v: v, bytes: bytes}, bytes)
+		}
+		mask >>= 1
+	}
+	return v
+}
+
+// Allgather collects one value from every member on every member, via
+// the ring algorithm (p−1 steps, each carrying one block). bytes is the
+// charged size of each member's value. Result is indexed by comm rank.
+func (c *Comm) Allgather(v any, bytes int64) []any {
+	p := len(c.group)
+	out := make([]any, p)
+	out[c.rank] = v
+	if p == 1 {
+		return out
+	}
+	const tag = tagAllgather
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendIdx := (c.rank - step + p) % p
+		recvIdx := (c.rank - step - 1 + p) % p
+		c.isend(right, tag+stepTag(step), out[sendIdx], bytes)
+		out[recvIdx] = c.irecv(left, tag+stepTag(step))
+	}
+	return out
+}
+
+// stepTag folds an unbounded ring step into the 63-tag block reserved
+// for Allgather; ring neighbours reuse a tag no sooner than 63 steps
+// later, far beyond any in-flight window.
+func stepTag(step int) int { return step % 63 }
+
+// Gather collects one value from every member at root; non-roots get
+// nil. bytes charges each member's value.
+func (c *Comm) Gather(root int, v any, bytes int64) []any {
+	c.checkRank(root, "gather root")
+	p := len(c.group)
+	const tag = tagGather
+	if c.rank != root {
+		c.isend(root, tag, v, bytes)
+		return nil
+	}
+	out := make([]any, p)
+	out[root] = v
+	for r := 0; r < p; r++ {
+		if r != root {
+			out[r] = c.irecv(r, tag)
+		}
+	}
+	return out
+}
+
+// Alltoall exchanges vals[i] (charged at bytes[i]) to member i and
+// returns the values received, using pairwise exchange. vals and bytes
+// must have length Size(). A nil payload with zero bytes costs nothing.
+func (c *Comm) Alltoall(vals []any, bytes []int64) []any {
+	p := len(c.group)
+	if len(vals) != p || len(bytes) != p {
+		panic(fmt.Sprintf("mpi: alltoall with %d vals, %d sizes for comm of %d", len(vals), len(bytes), p))
+	}
+	const tag = tagAlltoall
+	out := make([]any, p)
+	out[c.rank] = vals[c.rank]
+	if bytes[c.rank] > 0 {
+		// Self-exchange still crosses the local memory bus.
+		c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+	}
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		c.isend(dst, tag, vals[dst], bytes[dst])
+		out[src] = c.irecv(src, tag)
+	}
+	return out
+}
+
+// AlltoallSparse exchanges only the non-nil entries. present[i] must be
+// true on the *receiver* side exactly when sender i has a non-nil value
+// for us; strategies compute it from the same global metadata on both
+// sides. This keeps sparse shuffles (the common collective-I/O case —
+// each rank talks to a few aggregators) from paying p² latency.
+func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
+	p := len(c.group)
+	if len(vals) != p || len(bytes) != p || len(present) != p {
+		panic("mpi: alltoallsparse length mismatch")
+	}
+	const tag = tagAlltoall
+	out := make([]any, p)
+	if vals[c.rank] != nil {
+		out[c.rank] = vals[c.rank]
+		if bytes[c.rank] > 0 {
+			c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+		}
+	}
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		if vals[dst] != nil {
+			c.isend(dst, tag, vals[dst], bytes[dst])
+		}
+		if present[src] {
+			out[src] = c.irecv(src, tag)
+		}
+	}
+	return out
+}
+
+// ReduceInt64 folds every member's value with op at root (op must be
+// associative and commutative); non-roots get 0. Binomial tree.
+func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) int64 {
+	c.checkRank(root, "reduce root")
+	p := len(c.group)
+	const tag = tagReduce
+	rel := (c.rank - root + p) % p
+	acc := v
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % p
+			c.isend(dst, tag, acc, tokenBytes)
+			return 0
+		}
+		if rel+mask < p {
+			src := (rel + mask + root) % p
+			acc = op(acc, c.irecv(src, tag).(int64))
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// AllreduceInt64 is ReduceInt64 to rank 0 followed by a broadcast.
+func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
+	r := c.ReduceInt64(0, v, op)
+	return c.Bcast(0, r, tokenBytes).(int64)
+}
+
+// MaxInt64 and SumInt64 are the common reduction operators.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumInt64 returns a+b.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// splitInfo is the record exchanged by Split.
+type splitInfo struct {
+	color, key, rank int
+}
+
+// Split partitions the communicator by color: members sharing a color
+// form a new communicator ordered by (key, old rank), exactly like
+// MPI_Comm_split. Every member must call it; the caller gets its own
+// color's communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	infos := c.Allgather(splitInfo{color: color, key: key, rank: c.rank}, 12)
+	var mine []splitInfo
+	for _, v := range infos {
+		si := v.(splitInfo)
+		if si.color == color {
+			mine = append(mine, si)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	group := make([]int, len(mine))
+	newRank := -1
+	for i, si := range mine {
+		group[i] = c.group[si.rank]
+		if si.rank == c.rank {
+			newRank = i
+		}
+	}
+	// All members derive the same context deterministically; the split
+	// counter advances in lockstep under the SPMD contract.
+	c.splitSeq++
+	ctx := c.ctx*0x100000001b3 ^ uint64(c.splitSeq)<<20 ^ uint64(color+1)
+	return &Comm{w: c.w, p: c.p, ctx: ctx, rank: newRank, group: group}
+}

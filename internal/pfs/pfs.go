@@ -1,0 +1,371 @@
+// Package pfs simulates a Lustre-like striped parallel file system.
+//
+// A file is striped round-robin across object storage targets (OSTs)
+// in fixed stripe units (the paper's testbed used 1 MB units over all
+// servers). Each OST is a bandwidth/latency resource; every request an
+// OST serves pays a fixed per-request overhead (RPC + seek) plus
+// size/bandwidth. That overhead is what makes many small noncontiguous
+// requests slow and few large contiguous requests fast — the property
+// collective I/O exists to exploit.
+//
+// Data is stored sparsely per file in fixed-size blocks so functional
+// tests can verify every byte; phantom payloads exercise the same cost
+// accounting without storing anything.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/cluster"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// storeBlock is the granularity of the sparse byte store. It is a
+// storage-efficiency knob only; it has no effect on timing.
+const storeBlock = 256 << 10
+
+// Config describes the storage system.
+type Config struct {
+	OSTs       int
+	StripeUnit int64   // bytes per stripe
+	OSTBW      float64 // per-OST streaming bandwidth, bytes/s
+	OSTLatency float64 // per-request overhead (RPC + seek), seconds
+
+	// JitterMean adds an exponentially distributed extra delay to each
+	// request's completion, modelling shared-storage interference (lock
+	// ping-pong, seek storms, competing jobs). Zero disables it. Many
+	// small rounds each pay the *maximum* jitter of their in-flight
+	// requests, which is why small collective buffers decay on real
+	// systems.
+	JitterMean float64
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.OSTs <= 0 {
+		return fmt.Errorf("pfs: OSTs must be positive, got %d", c.OSTs)
+	}
+	if c.StripeUnit <= 0 {
+		return fmt.Errorf("pfs: StripeUnit must be positive, got %d", c.StripeUnit)
+	}
+	if c.OSTBW <= 0 {
+		return fmt.Errorf("pfs: OSTBW must be positive, got %g", c.OSTBW)
+	}
+	if c.OSTLatency < 0 {
+		return fmt.Errorf("pfs: negative OSTLatency %g", c.OSTLatency)
+	}
+	if c.JitterMean < 0 {
+		return fmt.Errorf("pfs: negative JitterMean %g", c.JitterMean)
+	}
+	return nil
+}
+
+// DefaultConfig mirrors the paper's testbed storage: 1 MB stripes over
+// a DataDirect-class backend. Per-OST bandwidth and count are chosen so
+// aggregate streaming capacity is a few GB/s.
+func DefaultConfig() Config {
+	return Config{
+		OSTs:       16,
+		StripeUnit: 1 * cluster.MB,
+		OSTBW:      400 * float64(cluster.MB),
+		OSTLatency: 500e-6,
+	}
+}
+
+// FS is a simulated parallel file system mounted on a machine.
+type FS struct {
+	cfg     Config
+	machine *cluster.Machine
+	osts    []*resource.Link
+	files   map[string]*fileData
+	rng     *stats.RNG
+
+	reqs         int64
+	bytesRead    int64
+	bytesWritten int64
+}
+
+type fileData struct {
+	blocks map[int64][]byte // block index -> storage (lazily allocated)
+	size   int64            // highest written offset + 1
+}
+
+// New mounts a file system with cfg on machine m.
+func New(cfg Config, m *cluster.Machine) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FS{cfg: cfg, machine: m, files: make(map[string]*fileData), rng: stats.NewRNG(cfg.Seed ^ 0x5f5)}
+	for i := 0; i < cfg.OSTs; i++ {
+		fs.osts = append(fs.osts, resource.NewLink(fmt.Sprintf("ost%d", i), cfg.OSTBW, cfg.OSTLatency))
+	}
+	return fs, nil
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Open returns a handle on name, creating the file if needed.
+func (fs *FS) Open(name string) *File {
+	fd := fs.files[name]
+	if fd == nil {
+		fd = &fileData{blocks: make(map[int64][]byte)}
+		fs.files[name] = fd
+	}
+	return &File{fs: fs, name: name, data: fd}
+}
+
+// Remove deletes a file's contents.
+func (fs *FS) Remove(name string) { delete(fs.files, name) }
+
+// Stats reports cumulative request and byte counts.
+func (fs *FS) Stats() Stats {
+	s := Stats{Requests: fs.reqs, BytesRead: fs.bytesRead, BytesWritten: fs.bytesWritten}
+	for _, o := range fs.osts {
+		s.OSTBusy = append(s.OSTBusy, o.Stats().BusySeconds)
+	}
+	return s
+}
+
+// jitter draws one request's interference delay.
+func (fs *FS) jitter() float64 {
+	if fs.cfg.JitterMean <= 0 {
+		return 0
+	}
+	return fs.rng.Exp(fs.cfg.JitterMean)
+}
+
+// Stats is a snapshot of file system activity.
+type Stats struct {
+	Requests     int64
+	BytesRead    int64
+	BytesWritten int64
+	OSTBusy      []float64
+}
+
+// File is a handle on a (simulated) striped file.
+type File struct {
+	fs   *FS
+	name string
+	data *fileData
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns one past the highest byte ever written.
+func (f *File) Size() int64 { return f.data.size }
+
+// ostRun is a contiguous-in-object-space run of bytes on one OST.
+type ostRun struct {
+	ost   int
+	bytes int64
+}
+
+// splitByOST decomposes the file extent [off, off+n) into per-OST runs.
+// Stripes land round-robin, so within one contiguous file extent each
+// OST's pieces are contiguous in its object space and count as a single
+// request (Lustre clients batch exactly this way).
+func (fs *FS) splitByOST(off, n int64) []ostRun {
+	if n == 0 {
+		return nil
+	}
+	su := fs.cfg.StripeUnit
+	perOST := make(map[int]int64)
+	pos := off
+	remaining := n
+	for remaining > 0 {
+		stripe := pos / su
+		inStripe := su - pos%su
+		if inStripe > remaining {
+			inStripe = remaining
+		}
+		ost := int(stripe % int64(fs.cfg.OSTs))
+		perOST[ost] += inStripe
+		pos += inStripe
+		remaining -= inStripe
+	}
+	runs := make([]ostRun, 0, len(perOST))
+	for ost, b := range perOST {
+		runs = append(runs, ostRun{ost: ost, bytes: b})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ost < runs[j].ost })
+	return runs
+}
+
+// WriteAt writes buf at file offset off on behalf of rank, blocking p
+// for the simulated duration. Per-OST requests are issued concurrently;
+// the call completes when the slowest OST finishes. Returns the virtual
+// completion time.
+func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) float64 {
+	n := buf.Len()
+	if n == 0 {
+		return p.Now()
+	}
+	if off < 0 {
+		panic(fmt.Sprintf("pfs: write at negative offset %d", off))
+	}
+	f.storeBytes(off, buf)
+	base := f.fs.machine.StoragePath(rank)
+	done := p.Now()
+	for _, run := range f.fs.splitByOST(off, n) {
+		end := base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+		if end > done {
+			done = end
+		}
+		f.fs.reqs++
+	}
+	f.fs.bytesWritten += n
+	p.WaitUntil(done)
+	return done
+}
+
+// ReadAt fills dst from file offset off on behalf of rank, blocking p
+// for the simulated duration. Unwritten bytes read as zero. Returns the
+// virtual completion time.
+func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) float64 {
+	n := dst.Len()
+	if n == 0 {
+		return p.Now()
+	}
+	if off < 0 {
+		panic(fmt.Sprintf("pfs: read at negative offset %d", off))
+	}
+	f.loadBytes(off, dst)
+	base := f.fs.machine.StorageReturnPath(rank)
+	done := p.Now()
+	for _, run := range f.fs.splitByOST(off, n) {
+		end := resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+		if end > done {
+			done = end
+		}
+		f.fs.reqs++
+	}
+	f.fs.bytesRead += n
+	p.WaitUntil(done)
+	return done
+}
+
+// WriteVec writes several (offset, payload) runs as one pipelined batch
+// on behalf of rank: all requests are issued concurrently (as a real
+// parallel-file-system client would keep them in flight) and the call
+// completes when the slowest finishes. Returns the completion time.
+func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Buf) float64 {
+	if len(offs) != len(bufs) {
+		panic(fmt.Sprintf("pfs: WriteVec with %d offsets, %d payloads", len(offs), len(bufs)))
+	}
+	base := f.fs.machine.StoragePath(rank)
+	done := p.Now()
+	for i, off := range offs {
+		n := bufs[i].Len()
+		if n == 0 {
+			continue
+		}
+		if off < 0 {
+			panic(fmt.Sprintf("pfs: write at negative offset %d", off))
+		}
+		f.storeBytes(off, bufs[i])
+		for _, run := range f.fs.splitByOST(off, n) {
+			end := base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+			if end > done {
+				done = end
+			}
+			f.fs.reqs++
+		}
+		f.fs.bytesWritten += n
+	}
+	p.WaitUntil(done)
+	return done
+}
+
+// ReadVec reads several (offset, destination) runs as one pipelined
+// batch; see WriteVec.
+func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Buf) float64 {
+	if len(offs) != len(bufs) {
+		panic(fmt.Sprintf("pfs: ReadVec with %d offsets, %d payloads", len(offs), len(bufs)))
+	}
+	base := f.fs.machine.StorageReturnPath(rank)
+	done := p.Now()
+	for i, off := range offs {
+		n := bufs[i].Len()
+		if n == 0 {
+			continue
+		}
+		if off < 0 {
+			panic(fmt.Sprintf("pfs: read at negative offset %d", off))
+		}
+		f.loadBytes(off, bufs[i])
+		for _, run := range f.fs.splitByOST(off, n) {
+			end := resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+			if end > done {
+				done = end
+			}
+			f.fs.reqs++
+		}
+		f.fs.bytesRead += n
+	}
+	p.WaitUntil(done)
+	return done
+}
+
+// storeBytes persists a real payload into the sparse block store.
+// Phantom payloads only extend the file size.
+func (f *File) storeBytes(off int64, buf buffer.Buf) {
+	n := buf.Len()
+	if off+n > f.data.size {
+		f.data.size = off + n
+	}
+	if buf.Phantom() {
+		return
+	}
+	src := buf.Bytes()
+	pos := int64(0)
+	for pos < n {
+		blk := (off + pos) / storeBlock
+		blkOff := (off + pos) % storeBlock
+		chunk := int64(storeBlock) - blkOff
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		b := f.data.blocks[blk]
+		if b == nil {
+			b = make([]byte, storeBlock)
+			f.data.blocks[blk] = b
+		}
+		copy(b[blkOff:blkOff+chunk], src[pos:pos+chunk])
+		pos += chunk
+	}
+}
+
+// loadBytes fills a real payload from the sparse block store. Phantom
+// payloads skip data movement.
+func (f *File) loadBytes(off int64, dst buffer.Buf) {
+	if dst.Phantom() {
+		return
+	}
+	out := dst.Bytes()
+	n := dst.Len()
+	pos := int64(0)
+	for pos < n {
+		blk := (off + pos) / storeBlock
+		blkOff := (off + pos) % storeBlock
+		chunk := int64(storeBlock) - blkOff
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		if b := f.data.blocks[blk]; b != nil {
+			copy(out[pos:pos+chunk], b[blkOff:blkOff+chunk])
+		} else {
+			for i := pos; i < pos+chunk; i++ {
+				out[i] = 0
+			}
+		}
+		pos += chunk
+	}
+}

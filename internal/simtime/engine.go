@@ -1,0 +1,200 @@
+// Package simtime implements a deterministic discrete-event simulation
+// engine with coroutine-style virtual processes.
+//
+// The engine owns a virtual clock and an event queue. Simulated
+// processes (Proc) are goroutines that run one at a time under the
+// engine's scheduler: a process runs until it blocks on a simulation
+// primitive (Sleep, Signal.Wait, Chan.Get, ...) and the scheduler then
+// advances the clock to the next event. Because exactly one process is
+// runnable at any instant and ties are broken by sequence number, a
+// simulation is bit-reproducible across runs.
+//
+// Time is a float64 in seconds. Durations must be non-negative; the
+// engine panics on attempts to schedule into the past, which always
+// indicates a model bug rather than a recoverable condition.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled occurrence: either the resumption of a parked
+// process or the invocation of a bare callback (timer).
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run this callback
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // handshake: running proc -> scheduler
+	running bool
+	cur     *Proc
+
+	procs   []*Proc // all spawned procs, for deadlock reporting
+	alive   int     // procs whose body has not returned
+	stopped bool    // Stop was called
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// nextSeq returns a monotonically increasing tie-break sequence.
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// schedule inserts an event at absolute time at.
+func (e *Engine) schedule(at float64, p *Proc, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule into the past: at=%g now=%g", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("simtime: schedule at non-finite time %g", at))
+	}
+	heap.Push(&e.events, &event{at: at, seq: e.nextSeq(), p: p, fn: fn})
+}
+
+// After schedules fn to run after delay d. It may be called from inside
+// a running process or before Run.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %g", d))
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Spawn creates a simulated process executing body and schedules it to
+// start at the current virtual time. It is safe to call both before Run
+// and from inside a running process.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		id:     len(e.procs),
+		resume: make(chan struct{}),
+		state:  stateReady,
+	}
+	e.procs = append(e.procs, p)
+	e.alive++
+	go func() {
+		<-p.resume // wait for first dispatch
+		body(p)
+		p.state = stateDone
+		e.alive--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// dispatch resumes p and blocks until p parks or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateRunning
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = nil
+}
+
+// Run executes events until none remain or Stop is called. It returns a
+// DeadlockError if processes are still parked when the event queue
+// drains, which indicates the simulated system wedged (for example a
+// Recv with no matching Send).
+func (e *Engine) Run() error {
+	if e.running {
+		panic("simtime: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("simtime: time went backwards")
+		}
+		e.now = ev.at
+		if ev.p != nil {
+			if ev.p.state == stateDone {
+				continue // proc was killed/finished before its wake fired
+			}
+			e.dispatch(ev.p)
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.alive > 0 {
+		return e.deadlock()
+	}
+	return nil
+}
+
+// Stop terminates Run after the current event completes. Parked
+// processes are abandoned (their goroutines leak until the test binary
+// exits), so Stop is intended for error paths and examples, not for the
+// steady state of a model.
+func (e *Engine) Stop() { e.stopped = true }
+
+// deadlock builds the error describing all parked processes.
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == stateParked || p.state == stateReady {
+			blocked = append(blocked, fmt.Sprintf("%s (waiting: %s)", p.name, p.waitingOn))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: e.now, Blocked: blocked}
+}
+
+// DeadlockError reports that the event queue drained while processes
+// were still blocked.
+type DeadlockError struct {
+	Now     float64  // virtual time at which the simulation wedged
+	Blocked []string // names of blocked processes with their wait reasons
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("simtime: deadlock at t=%g: %d blocked procs: %v", d.Now, len(d.Blocked), d.Blocked)
+}

@@ -1,0 +1,142 @@
+package simtime
+
+import "fmt"
+
+// Signal is a broadcast/wake-one condition for simulated processes.
+// The zero value is not usable; construct with NewSignal.
+type Signal struct {
+	e       *Engine
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to engine e.
+func NewSignal(e *Engine, name string) *Signal {
+	return &Signal{e: e, name: name}
+}
+
+// Wait parks p until another process calls Broadcast or WakeOne.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park("signal " + s.name)
+}
+
+// Broadcast wakes every waiter at the current virtual time.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		w.wake()
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// WakeOne wakes the longest-waiting process, if any. It reports whether
+// a process was woken.
+func (s *Signal) WakeOne() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	w.wake()
+	return true
+}
+
+// Waiters returns the number of parked processes.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Chan is an unbounded FIFO mailbox between simulated processes. Put is
+// non-blocking; Get blocks the calling process until an item arrives.
+// It models an eager message channel: transfer cost is the sender's
+// concern (charge time before Put), not the channel's.
+type Chan[T any] struct {
+	e          *Engine
+	name       string
+	parkReason string // precomputed: park reasons are built per blocking call otherwise
+	items      []T
+	waiters    []*Proc
+}
+
+// NewChan returns an empty mailbox bound to engine e.
+func NewChan[T any](e *Engine, name string) *Chan[T] {
+	return &Chan[T]{e: e, name: name, parkReason: "chan " + name}
+}
+
+// Put appends v and wakes the longest-waiting receiver, if any.
+func (c *Chan[T]) Put(v T) {
+	c.items = append(c.items, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.wake()
+	}
+}
+
+// Get removes and returns the oldest item, blocking p until one exists.
+func (c *Chan[T]) Get(p *Proc) T {
+	for len(c.items) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.park(c.parkReason)
+	}
+	v := c.items[0]
+	// Avoid retaining a reference in the backing array.
+	var zero T
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (c *Chan[T]) TryGet() (T, bool) {
+	var zero T
+	if len(c.items) == 0 {
+		return zero, false
+	}
+	v := c.items[0]
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Barrier blocks a fixed-size party of processes until all have
+// arrived. It is reusable: generation counting lets the same Barrier
+// synchronise successive phases.
+type Barrier struct {
+	e       *Engine
+	name    string
+	parties int
+	arrived int
+	gen     int
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for the given party size.
+func NewBarrier(e *Engine, name string, parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("simtime: barrier %q with parties=%d", name, parties))
+	}
+	return &Barrier{e: e, name: name, parties: parties}
+}
+
+// Await blocks p until parties processes have called Await in the
+// current generation. The last arriver releases everyone without
+// blocking itself.
+func (b *Barrier) Await(p *Proc) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			w.wake()
+		}
+		b.waiters = b.waiters[:0]
+		return
+	}
+	gen := b.gen
+	b.waiters = append(b.waiters, p)
+	for gen == b.gen {
+		p.park("barrier " + b.name)
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace collects per-operation metrics from collective I/O
+// strategies: phase times, round counts, shuffle traffic, aggregator
+// buffer sizes. The benchmark harness turns these into the rows the
+// paper's figures report, and the memory/variance claims (aggregator
+// memory consumption and its spread) are checked against them.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics accumulates strategy-internal counters for one collective
+// operation. Strategies fill it; a nil *Metrics disables collection, so
+// every recording method is nil-safe.
+type Metrics struct {
+	Strategy string
+	Op       string // "write" or "read"
+
+	Rounds      int   // two-phase rounds executed (max across aggregators)
+	Aggregators int   // distinct aggregator processes
+	Groups      int   // aggregation groups (1 for the baseline)
+	Remerges    int   // file domains remerged for lack of memory
+	BytesIO     int64 // bytes moved to/from the file system
+	IORequests  int64 // requests issued to the file system
+
+	BytesShuffleIntra int64 // shuffle bytes that stayed on-node
+	BytesShuffleInter int64 // shuffle bytes that crossed nodes
+
+	ExchangeSeconds float64 // summed aggregator time in the exchange phase
+	IOSeconds       float64 // summed aggregator time in the I/O phase
+
+	AggBufferBytes []int64 // per-aggregator buffer allocation (high-water)
+}
+
+// AddRound records that an aggregator completed its round r (1-based);
+// the operation's round count is the max over aggregators.
+func (m *Metrics) AddRound(r int) {
+	if m == nil {
+		return
+	}
+	if r > m.Rounds {
+		m.Rounds = r
+	}
+}
+
+// AddIO accounts bytes and one request batch against the I/O phase.
+func (m *Metrics) AddIO(bytes int64, requests int64, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.BytesIO += bytes
+	m.IORequests += requests
+	m.IOSeconds += seconds
+}
+
+// AddExchange accounts shuffle traffic against the exchange phase.
+func (m *Metrics) AddExchange(bytesIntra, bytesInter int64, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.BytesShuffleIntra += bytesIntra
+	m.BytesShuffleInter += bytesInter
+	m.ExchangeSeconds += seconds
+}
+
+// AddAggregator records one aggregator and its buffer high-water mark.
+func (m *Metrics) AddAggregator(bufBytes int64) {
+	if m == nil {
+		return
+	}
+	m.Aggregators++
+	m.AggBufferBytes = append(m.AggBufferBytes, bufBytes)
+}
+
+// AddRemerge records a file-domain remerge.
+func (m *Metrics) AddRemerge() {
+	if m == nil {
+		return
+	}
+	m.Remerges++
+}
+
+// SetGroups records the aggregation group count.
+func (m *Metrics) SetGroups(n int) {
+	if m == nil {
+		return
+	}
+	m.Groups = n
+}
+
+// AggBufferStats summarises per-aggregator buffer sizes; the paper's
+// "reduces aggregator memory consumption and variance" claim is checked
+// on Mean and CV.
+func (m *Metrics) AggBufferStats() stats.Summary {
+	xs := make([]float64, len(m.AggBufferBytes))
+	for i, b := range m.AggBufferBytes {
+		xs[i] = float64(b)
+	}
+	return stats.Summarize(xs)
+}
+
+// Merge folds another rank's metrics into m. Per-rank counters
+// (traffic, I/O bytes, phase seconds, aggregator buffers) add up;
+// values every rank computes identically from the shared plan (rounds,
+// groups, remerges) take the max so redundant computation is not
+// double-counted.
+func (m *Metrics) Merge(o Metrics) {
+	if o.Rounds > m.Rounds {
+		m.Rounds = o.Rounds
+	}
+	if o.Groups > m.Groups {
+		m.Groups = o.Groups
+	}
+	if o.Remerges > m.Remerges {
+		m.Remerges = o.Remerges
+	}
+	m.Aggregators += o.Aggregators
+	m.BytesIO += o.BytesIO
+	m.IORequests += o.IORequests
+	m.BytesShuffleIntra += o.BytesShuffleIntra
+	m.BytesShuffleInter += o.BytesShuffleInter
+	m.ExchangeSeconds += o.ExchangeSeconds
+	m.IOSeconds += o.IOSeconds
+	m.AggBufferBytes = append(m.AggBufferBytes, o.AggBufferBytes...)
+}
+
+// Result is one completed collective operation as the harness sees it.
+type Result struct {
+	Metrics
+	Bytes   int64   // payload bytes moved for the application
+	Elapsed float64 // virtual seconds from collective start to finish
+}
+
+// BandwidthMBps returns application bandwidth in decimal MB/s, the unit
+// the paper plots.
+func (r Result) BandwidthMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed
+}
+
+// String renders a one-line summary for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s %s: %.1f MB in %s → %.1f MB/s (rounds=%d aggs=%d groups=%d remerges=%d)",
+		r.Strategy, r.Op, float64(r.Bytes)/1e6,
+		(time.Duration(r.Elapsed * float64(time.Second))).Round(time.Microsecond),
+		r.BandwidthMBps(), r.Rounds, r.Aggregators, r.Groups, r.Remerges)
+}

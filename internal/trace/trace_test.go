@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.AddRound(3)
+	m.AddIO(10, 1, 0.5)
+	m.AddExchange(1, 2, 0.1)
+	m.AddAggregator(100)
+	m.AddRemerge()
+	m.SetGroups(2)
+}
+
+func TestAddRoundKeepsMax(t *testing.T) {
+	var m Metrics
+	m.AddRound(3)
+	m.AddRound(1)
+	m.AddRound(7)
+	if m.Rounds != 7 {
+		t.Fatalf("rounds %d", m.Rounds)
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	var m Metrics
+	m.AddIO(100, 2, 0.5)
+	m.AddIO(50, 1, 0.25)
+	m.AddExchange(10, 20, 0.1)
+	m.AddAggregator(1000)
+	m.AddAggregator(3000)
+	if m.BytesIO != 150 || m.IORequests != 3 || m.IOSeconds != 0.75 {
+		t.Fatalf("io: %+v", m)
+	}
+	if m.BytesShuffleIntra != 10 || m.BytesShuffleInter != 20 {
+		t.Fatalf("shuffle: %+v", m)
+	}
+	if m.Aggregators != 2 || len(m.AggBufferBytes) != 2 {
+		t.Fatalf("aggs: %+v", m)
+	}
+	s := m.AggBufferStats()
+	if s.Mean != 2000 || s.Min != 1000 || s.Max != 3000 {
+		t.Fatalf("buffer stats %+v", s)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	a := Metrics{Rounds: 5, Groups: 2, Remerges: 1, Aggregators: 1,
+		BytesIO: 100, IORequests: 2, BytesShuffleIntra: 10, BytesShuffleInter: 20,
+		ExchangeSeconds: 1, IOSeconds: 2, AggBufferBytes: []int64{64}}
+	b := Metrics{Rounds: 3, Groups: 2, Remerges: 1, Aggregators: 2,
+		BytesIO: 50, IORequests: 1, BytesShuffleIntra: 5, BytesShuffleInter: 5,
+		ExchangeSeconds: 0.5, IOSeconds: 1, AggBufferBytes: []int64{32, 16}}
+	a.Merge(b)
+	// Max fields (computed identically everywhere) stay, sums add.
+	if a.Rounds != 5 || a.Groups != 2 || a.Remerges != 1 {
+		t.Fatalf("max fields: %+v", a)
+	}
+	if a.Aggregators != 3 || a.BytesIO != 150 || a.IORequests != 3 {
+		t.Fatalf("sum fields: %+v", a)
+	}
+	if a.ExchangeSeconds != 1.5 || a.IOSeconds != 3 {
+		t.Fatalf("seconds: %+v", a)
+	}
+	if len(a.AggBufferBytes) != 3 {
+		t.Fatalf("buffers: %+v", a.AggBufferBytes)
+	}
+}
+
+func TestResultBandwidth(t *testing.T) {
+	r := Result{Bytes: 2_000_000, Elapsed: 2}
+	if got := r.BandwidthMBps(); got != 1 {
+		t.Fatalf("bw %g, want 1", got)
+	}
+	if (Result{Bytes: 100}).BandwidthMBps() != 0 {
+		t.Fatal("zero elapsed must yield zero bandwidth")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Bytes: 1_000_000, Elapsed: 1}
+	r.Strategy = "mccio"
+	r.Op = "write"
+	r.Rounds = 4
+	s := r.String()
+	for _, want := range []string{"mccio", "write", "1.0 MB/s", "rounds=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing from %q", want, s)
+		}
+	}
+}

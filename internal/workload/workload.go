@@ -1,0 +1,327 @@
+// Package workload generates the file access patterns of the paper's
+// benchmarks — coll_perf's 3-D block-distributed array and IOR's
+// interleaved segmented pattern — plus a random-offset pattern and a
+// checkpoint burst for the wider examples.
+//
+// A Workload answers, for each rank, the canonical segment list of its
+// file view. Generators are pure and deterministic.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/stats"
+)
+
+// Workload yields per-rank file views.
+type Workload interface {
+	Name() string
+	NumRanks() int
+	// View returns rank's canonical access pattern.
+	View(rank int) datatype.List
+	// TotalBytes is the sum of all ranks' request volumes.
+	TotalBytes() int64
+}
+
+// CollPerf3D reproduces ROMIO's coll_perf test: a Dims[0]×Dims[1]×Dims[2]
+// array of Elem-byte elements stored row-major in one shared file, block
+// decomposed over a Procs[0]×Procs[1]×Procs[2] process grid. Dimensions
+// that do not divide evenly give the trailing block the remainder.
+type CollPerf3D struct {
+	Dims  [3]int64
+	Procs [3]int64
+	Elem  int64
+}
+
+// Name implements Workload.
+func (w CollPerf3D) Name() string {
+	return fmt.Sprintf("coll_perf %dx%dx%dx%dB over %dx%dx%d",
+		w.Dims[0], w.Dims[1], w.Dims[2], w.Elem, w.Procs[0], w.Procs[1], w.Procs[2])
+}
+
+// NumRanks implements Workload.
+func (w CollPerf3D) NumRanks() int { return int(w.Procs[0] * w.Procs[1] * w.Procs[2]) }
+
+// block returns the [start, size] of dimension d owned by grid index i.
+func (w CollPerf3D) block(d int, i int64) (start, size int64) {
+	base := w.Dims[d] / w.Procs[d]
+	start = i * base
+	size = base
+	if i == w.Procs[d]-1 {
+		size = w.Dims[d] - start
+	}
+	return start, size
+}
+
+// View implements Workload. Rank order is x-major over the grid,
+// matching MPI_Cart_create with default ordering.
+func (w CollPerf3D) View(rank int) datatype.List {
+	if rank < 0 || rank >= w.NumRanks() {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, w.NumRanks()))
+	}
+	r := int64(rank)
+	ix := r / (w.Procs[1] * w.Procs[2])
+	iy := r / w.Procs[2] % w.Procs[1]
+	iz := r % w.Procs[2]
+	sx, nx := w.block(0, ix)
+	sy, ny := w.block(1, iy)
+	sz, nz := w.block(2, iz)
+	sub := datatype.Subarray3D{
+		Global: w.Dims,
+		Local:  [3]int64{nx, ny, nz},
+		Start:  [3]int64{sx, sy, sz},
+		Elem:   w.Elem,
+	}
+	return datatype.Normalize(sub.Segments(nil, 0))
+}
+
+// TotalBytes implements Workload.
+func (w CollPerf3D) TotalBytes() int64 {
+	return w.Dims[0] * w.Dims[1] * w.Dims[2] * w.Elem
+}
+
+// Grid3 factors n into a balanced 3-D grid (a×b×c = n with a ≥ b ≥ c as
+// close as possible), the way coll_perf picks its process grid.
+func Grid3(n int) [3]int64 {
+	best := [3]int64{int64(n), 1, 1}
+	bestScore := int64(1 << 62)
+	for a := int64(1); a*a*a <= int64(n)*4; a++ {
+		if int64(n)%a != 0 {
+			continue
+		}
+		rest := int64(n) / a
+		for b := a; b*b <= rest*2; b++ {
+			if rest%b != 0 {
+				continue
+			}
+			c := rest / b
+			// Score: spread between largest and smallest factor.
+			lo, hi := a, c
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+			if a > hi {
+				hi = a
+			}
+			if c < lo {
+				lo = c
+			}
+			if hi-lo < bestScore {
+				bestScore = hi - lo
+				best = [3]int64{c, b, a} // largest factor innermost-contiguous
+			}
+		}
+	}
+	return best
+}
+
+// IOR reproduces the IOR benchmark's segmented-interleaved pattern:
+// the file is Segments repetitions of NumRanks blocks of BlockSize
+// bytes; rank r owns block r of every segment. TransferSize records the
+// benchmark's per-call granularity (the harness may split one logical
+// test into TotalBytes/TransferSize collective calls); it does not
+// change the view.
+type IOR struct {
+	Ranks        int
+	BlockSize    int64
+	Segments     int
+	TransferSize int64
+}
+
+// Name implements Workload.
+func (w IOR) Name() string {
+	return fmt.Sprintf("IOR p=%d block=%d segs=%d xfer=%d", w.Ranks, w.BlockSize, w.Segments, w.TransferSize)
+}
+
+// NumRanks implements Workload.
+func (w IOR) NumRanks() int { return w.Ranks }
+
+// View implements Workload.
+func (w IOR) View(rank int) datatype.List {
+	if rank < 0 || rank >= w.Ranks {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, w.Ranks))
+	}
+	v := datatype.Vector{
+		Count:    int64(w.Segments),
+		BlockLen: w.BlockSize,
+		Stride:   w.BlockSize * int64(w.Ranks),
+	}
+	return datatype.Normalize(v.Segments(nil, int64(rank)*w.BlockSize))
+}
+
+// TotalBytes implements Workload.
+func (w IOR) TotalBytes() int64 {
+	return int64(w.Ranks) * int64(w.Segments) * w.BlockSize
+}
+
+// Random scatters SegsPerRank requests of SegLen bytes uniformly over
+// FileSize, disjoint across ranks (each rank draws from its own strided
+// lane so requests never overlap). It models irregular scientific
+// access, the "Or Random" half of IOR.
+type Random struct {
+	Ranks       int
+	SegsPerRank int
+	SegLen      int64
+	FileSize    int64
+	Seed        uint64
+}
+
+// Name implements Workload.
+func (w Random) Name() string {
+	return fmt.Sprintf("random p=%d segs=%d len=%d", w.Ranks, w.SegsPerRank, w.SegLen)
+}
+
+// NumRanks implements Workload.
+func (w Random) NumRanks() int { return w.Ranks }
+
+// View implements Workload.
+func (w Random) View(rank int) datatype.List {
+	if rank < 0 || rank >= w.Ranks {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, w.Ranks))
+	}
+	// Rank r draws slots from lane r of a round-robin slot grid, so
+	// views are disjoint yet globally shuffled.
+	slotLen := w.SegLen
+	lanes := int64(w.Ranks)
+	slots := w.FileSize / (slotLen * lanes)
+	if slots < int64(w.SegsPerRank) {
+		slots = int64(w.SegsPerRank)
+	}
+	rng := stats.NewRNG(w.Seed ^ uint64(rank)*0x9e3779b97f4a7c15)
+	segs := make([]datatype.Segment, 0, w.SegsPerRank)
+	seen := make(map[int64]bool, w.SegsPerRank)
+	for len(segs) < w.SegsPerRank {
+		slot := rng.Int63n(slots)
+		if seen[slot] {
+			continue
+		}
+		seen[slot] = true
+		off := (slot*lanes + int64(rank)) * slotLen
+		segs = append(segs, datatype.Segment{Off: off, Len: slotLen})
+	}
+	return datatype.Normalize(segs)
+}
+
+// TotalBytes implements Workload.
+func (w Random) TotalBytes() int64 {
+	return int64(w.Ranks) * int64(w.SegsPerRank) * w.SegLen
+}
+
+// Tile2D reproduces the MPI-Tile-IO pattern: a 2-D array of
+// Rows×Cols elements stored row-major, divided into TilesX×TilesY
+// tiles, one per rank; each rank's view is its tile's rows — a
+// medium-grain noncontiguous pattern between coll_perf's tiny rows and
+// IOR's large blocks.
+type Tile2D struct {
+	Rows, Cols     int64 // global array dimensions (elements)
+	TilesX, TilesY int64 // tile grid: TilesX*TilesY ranks
+	Elem           int64 // bytes per element
+}
+
+// Name implements Workload.
+func (w Tile2D) Name() string {
+	return fmt.Sprintf("tile2d %dx%dx%dB over %dx%d", w.Rows, w.Cols, w.Elem, w.TilesX, w.TilesY)
+}
+
+// NumRanks implements Workload.
+func (w Tile2D) NumRanks() int { return int(w.TilesX * w.TilesY) }
+
+// View implements Workload. Rank order is row-major over the tile grid.
+func (w Tile2D) View(rank int) datatype.List {
+	if rank < 0 || rank >= w.NumRanks() {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, w.NumRanks()))
+	}
+	tx := int64(rank) / w.TilesY // tile row index
+	ty := int64(rank) % w.TilesY // tile column index
+	rowsPer := w.Rows / w.TilesX
+	colsPer := w.Cols / w.TilesY
+	r0 := tx * rowsPer
+	rn := rowsPer
+	if tx == w.TilesX-1 {
+		rn = w.Rows - r0
+	}
+	c0 := ty * colsPer
+	cn := colsPer
+	if ty == w.TilesY-1 {
+		cn = w.Cols - c0
+	}
+	segs := make([]datatype.Segment, 0, rn)
+	for r := int64(0); r < rn; r++ {
+		segs = append(segs, datatype.Segment{
+			Off: ((r0+r)*w.Cols + c0) * w.Elem,
+			Len: cn * w.Elem,
+		})
+	}
+	return datatype.Normalize(segs)
+}
+
+// TotalBytes implements Workload.
+func (w Tile2D) TotalBytes() int64 { return w.Rows * w.Cols * w.Elem }
+
+// Checkpoint is an N-rank defensive checkpoint: every rank dumps one
+// contiguous region, rank-serial in the file, with sizes drawn from a
+// lognormal distribution (some ranks carry far more state than others —
+// the imbalance that makes aggregator memory placement matter).
+type Checkpoint struct {
+	Ranks     int
+	MeanBytes int64
+	Sigma     float64 // lognormal shape; 0 = uniform sizes
+	Seed      uint64
+	Align     int64 // offsets rounded up to this (0 = 1)
+}
+
+// Name implements Workload.
+func (w Checkpoint) Name() string {
+	return fmt.Sprintf("checkpoint p=%d mean=%d sigma=%.2f", w.Ranks, w.MeanBytes, w.Sigma)
+}
+
+// NumRanks implements Workload.
+func (w Checkpoint) NumRanks() int { return w.Ranks }
+
+// sizes returns every rank's chunk size (deterministic in Seed).
+func (w Checkpoint) sizes() []int64 {
+	rng := stats.NewRNG(w.Seed)
+	out := make([]int64, w.Ranks)
+	for i := range out {
+		if w.Sigma <= 0 {
+			out[i] = w.MeanBytes
+			continue
+		}
+		v := int64(rng.LogNormal(0, w.Sigma) * float64(w.MeanBytes))
+		if v < 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// View implements Workload.
+func (w Checkpoint) View(rank int) datatype.List {
+	if rank < 0 || rank >= w.Ranks {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, w.Ranks))
+	}
+	align := w.Align
+	if align <= 0 {
+		align = 1
+	}
+	sizes := w.sizes()
+	var off int64
+	for r := 0; r < rank; r++ {
+		off += (sizes[r] + align - 1) / align * align
+	}
+	return datatype.List{{Off: off, Len: sizes[rank]}}
+}
+
+// TotalBytes implements Workload.
+func (w Checkpoint) TotalBytes() int64 {
+	var sum int64
+	for _, s := range w.sizes() {
+		sum += s
+	}
+	return sum
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datatype"
+)
+
+// checkPartition verifies the fundamental workload invariant: the
+// ranks' views are pairwise disjoint and (for dense workloads) tile the
+// file exactly.
+func checkPartition(t *testing.T, w Workload, dense bool) {
+	t.Helper()
+	var all datatype.List
+	var sum int64
+	for r := 0; r < w.NumRanks(); r++ {
+		v := w.View(r)
+		if !v.IsCanonical() {
+			t.Fatalf("rank %d view not canonical", r)
+		}
+		sum += v.TotalBytes()
+		all = append(all, v...)
+	}
+	if sum != w.TotalBytes() {
+		t.Fatalf("views carry %d bytes, TotalBytes()=%d", sum, w.TotalBytes())
+	}
+	merged := datatype.Normalize(all)
+	if merged.TotalBytes() != sum {
+		t.Fatalf("views overlap: union %d < sum %d", merged.TotalBytes(), sum)
+	}
+	if dense {
+		if len(merged) != 1 {
+			t.Fatalf("dense workload has %d coverage runs, want 1", len(merged))
+		}
+		lo, _ := merged.Extent()
+		if lo != 0 {
+			t.Fatalf("dense workload starts at %d", lo)
+		}
+	}
+}
+
+func TestCollPerfPartition(t *testing.T) {
+	w := CollPerf3D{Dims: [3]int64{32, 24, 16}, Procs: [3]int64{2, 3, 4}, Elem: 4}
+	if w.NumRanks() != 24 {
+		t.Fatalf("ranks %d", w.NumRanks())
+	}
+	checkPartition(t, w, true)
+}
+
+func TestCollPerfUnevenDims(t *testing.T) {
+	// 17 is prime: last block takes the remainder.
+	w := CollPerf3D{Dims: [3]int64{17, 10, 9}, Procs: [3]int64{3, 2, 2}, Elem: 8}
+	checkPartition(t, w, true)
+}
+
+func TestCollPerfSegmentsAreRows(t *testing.T) {
+	w := CollPerf3D{Dims: [3]int64{4, 4, 8}, Procs: [3]int64{2, 2, 2}, Elem: 1}
+	v := w.View(0) // block [0:2, 0:2, 0:4]
+	// 2 planes × 2 rows of 4 bytes = 4 segments.
+	if len(v) != 4 || v.TotalBytes() != 16 {
+		t.Fatalf("view %v", v)
+	}
+	if v[0].Off != 0 || v[0].Len != 4 || v[1].Off != 8 {
+		t.Fatalf("row layout wrong: %v", v)
+	}
+}
+
+func TestGrid3(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64 // product check only plus balance sanity
+	}{{120, 120}, {1080, 1080}, {8, 8}, {7, 7}, {1, 1}, {64, 64}}
+	for _, c := range cases {
+		g := Grid3(c.n)
+		if g[0]*g[1]*g[2] != c.want {
+			t.Fatalf("Grid3(%d)=%v does not multiply out", c.n, g)
+		}
+	}
+	// 120 should factor into something much better than 120×1×1.
+	g := Grid3(120)
+	if g[0] > 30 || g[1] > 30 || g[2] > 30 {
+		t.Fatalf("Grid3(120)=%v is badly unbalanced", g)
+	}
+}
+
+func TestIORInterleaving(t *testing.T) {
+	w := IOR{Ranks: 4, BlockSize: 100, Segments: 3, TransferSize: 100}
+	checkPartition(t, w, true)
+	v := w.View(1)
+	want := datatype.List{{Off: 100, Len: 100}, {Off: 500, Len: 100}, {Off: 900, Len: 100}}
+	if !v.Equal(want) {
+		t.Fatalf("view %v, want %v", v, want)
+	}
+}
+
+func TestIORSingleSegmentIsContiguousPerRank(t *testing.T) {
+	w := IOR{Ranks: 8, BlockSize: 1 << 20, Segments: 1}
+	for r := 0; r < 8; r++ {
+		if v := w.View(r); len(v) != 1 {
+			t.Fatalf("rank %d view %v", r, v)
+		}
+	}
+	checkPartition(t, w, true)
+}
+
+func TestRandomDisjointAndDeterministic(t *testing.T) {
+	w := Random{Ranks: 6, SegsPerRank: 20, SegLen: 512, FileSize: 8 << 20, Seed: 3}
+	checkPartition(t, w, false)
+	a, b := w.View(2), w.View(2)
+	if !a.Equal(b) {
+		t.Fatal("random view not deterministic")
+	}
+	other := Random{Ranks: 6, SegsPerRank: 20, SegLen: 512, FileSize: 8 << 20, Seed: 4}.View(2)
+	if a.Equal(other) {
+		t.Fatal("different seeds gave identical views")
+	}
+}
+
+func TestCheckpointSerialLayout(t *testing.T) {
+	w := Checkpoint{Ranks: 5, MeanBytes: 1000, Sigma: 0, Seed: 1}
+	checkPartition(t, w, true)
+	for r := 0; r < 5; r++ {
+		v := w.View(r)
+		if len(v) != 1 || v[0].Off != int64(r)*1000 || v[0].Len != 1000 {
+			t.Fatalf("rank %d view %v", r, v)
+		}
+	}
+}
+
+func TestCheckpointLognormalImbalance(t *testing.T) {
+	w := Checkpoint{Ranks: 64, MeanBytes: 1 << 20, Sigma: 1.0, Seed: 9}
+	checkPartition(t, w, false)
+	sizes := w.sizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("sigma=1 produced nearly uniform sizes: min=%d max=%d", min, max)
+	}
+}
+
+func TestCheckpointAlignment(t *testing.T) {
+	w := Checkpoint{Ranks: 4, MeanBytes: 1000, Sigma: 0.5, Seed: 2, Align: 4096}
+	for r := 0; r < 4; r++ {
+		if off := w.View(r)[0].Off; off%4096 != 0 {
+			t.Fatalf("rank %d offset %d not aligned", r, off)
+		}
+	}
+}
+
+func TestViewPanicsOutOfRange(t *testing.T) {
+	ws := []Workload{
+		CollPerf3D{Dims: [3]int64{4, 4, 4}, Procs: [3]int64{1, 1, 2}, Elem: 1},
+		IOR{Ranks: 2, BlockSize: 10, Segments: 1},
+		Random{Ranks: 2, SegsPerRank: 1, SegLen: 8, FileSize: 1 << 10},
+		Checkpoint{Ranks: 2, MeanBytes: 10},
+	}
+	for _, w := range ws {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic for bad rank", w.Name())
+				}
+			}()
+			w.View(w.NumRanks())
+		}()
+	}
+}
+
+func TestCollPerfPropertyGrids(t *testing.T) {
+	f := func(px, py, pz uint8) bool {
+		p := [3]int64{int64(px%3 + 1), int64(py%3 + 1), int64(pz%3 + 1)}
+		w := CollPerf3D{
+			Dims:  [3]int64{p[0] * 5, p[1] * 3, p[2] * 7},
+			Procs: p,
+			Elem:  4,
+		}
+		var all datatype.List
+		var sum int64
+		for r := 0; r < w.NumRanks(); r++ {
+			v := w.View(r)
+			sum += v.TotalBytes()
+			all = append(all, v...)
+		}
+		merged := datatype.Normalize(all)
+		return sum == w.TotalBytes() && merged.TotalBytes() == sum && len(merged) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTile2DPartition(t *testing.T) {
+	w := Tile2D{Rows: 64, Cols: 48, TilesX: 4, TilesY: 3, Elem: 8}
+	if w.NumRanks() != 12 {
+		t.Fatalf("ranks %d", w.NumRanks())
+	}
+	checkPartition(t, w, true)
+	// Rank 0's tile: rows 0..15, cols 0..15 -> 16 segments of 16*8 bytes.
+	v := w.View(0)
+	if len(v) != 16 || v[0].Len != 16*8 {
+		t.Fatalf("rank 0 view: %d segs, first %v", len(v), v[0])
+	}
+}
+
+func TestTile2DUnevenTiles(t *testing.T) {
+	// 10 rows over 3 tile-rows: the last tile-row gets 4 rows.
+	w := Tile2D{Rows: 10, Cols: 9, TilesX: 3, TilesY: 3, Elem: 4}
+	checkPartition(t, w, true)
+	last := w.View(w.NumRanks() - 1)
+	if len(last) != 4 {
+		t.Fatalf("last tile rows %d, want 4", len(last))
+	}
+}
+
+func TestTile2DFullWidthTilesMergeRows(t *testing.T) {
+	// TilesY=1: each tile spans full rows -> contiguous slab per rank.
+	w := Tile2D{Rows: 12, Cols: 16, TilesX: 4, TilesY: 1, Elem: 2}
+	for r := 0; r < 4; r++ {
+		if v := w.View(r); len(v) != 1 {
+			t.Fatalf("rank %d has %d segments, want 1 slab", r, len(v))
+		}
+	}
+	checkPartition(t, w, true)
+}
