@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
@@ -76,6 +76,9 @@ func main() {
 	}
 	if want("stripes") {
 		runT("stripes", bench.Stripes)
+	}
+	if want("phases") {
+		runT("phases", bench.PhaseBreakdown)
 	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "mccio-bench: unknown experiment %q\n", *experiment)

@@ -1,0 +1,49 @@
+// Command mccio-report aggregates a recorded event trace into the
+// phase-breakdown report: per-phase and per-round seconds, per-group
+// exchange traffic, and per-node memory high-water marks.
+//
+// It accepts either trace format the simulator writes — Chrome
+// trace_event JSON (-trace foo.json) or JSON lines (-trace foo.jsonl) —
+// and sniffs which one it was given.
+//
+//	mccio-sim -strategy mccio -op write -trace run.json
+//	mccio-report run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mccio-report TRACE-FILE\n\nTRACE-FILE is a trace written by mccio-sim -trace or mccio-trace run -trace\n(Chrome trace_event JSON or JSONL; the format is auto-detected).")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ParseAuto(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("%s contains no events", flag.Arg(0)))
+	}
+	fmt.Printf("%s: %d events\n", flag.Arg(0), len(events))
+	obs.Summarize(events).WriteText(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mccio-report: %v\n", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -67,6 +68,7 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "measure Msgind/Nah/Memmin/Msggroup on the platform (paper §3) and use them")
 		combine   = flag.Bool("combine", false, "enable the two-layer (intra-node/inter-node) exchange")
 		hints     = flag.String("hints", "", "MPI_Info-style hints (overrides -strategy); 'help' lists keys")
+		tracePath = flag.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON for Perfetto) and print the phase breakdown")
 	)
 	flag.Parse()
 
@@ -120,13 +122,38 @@ func main() {
 
 	s := buildStrategy(*hints, *strategy, *calibrate, *combine, *msgind, *nah, mem, nodes, mcfg, fcfg, wl)
 
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	res, err := bench.RunOnce(bench.Spec{
 		Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: *verify,
+		Tracer: tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	report(res, wl, nodes, *cores, *memStr, *sigmaMB, *verify)
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *tracePath)
+		obs.Summarize(tracer.Events()).WriteText(os.Stdout)
+	}
+}
+
+// writeTrace serializes the trace; the extension picks the format.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return t.WriteJSONL(f)
+	}
+	return t.WriteChrome(f)
 }
 
 // buildStrategy resolves the strategy from hints (when given) or the

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iolib"
 	"repro/internal/iotrace"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/workload"
 )
@@ -42,7 +44,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mccio-trace gen  -workload ior|collperf|random|checkpoint [-procs N] [-out FILE]
   mccio-trace stat FILE
-  mccio-trace run  [-strategy mccio|two-phase] [-op write|read] [-mem SIZE] FILE`)
+  mccio-trace run  [-strategy mccio|two-phase] [-op write|read] [-mem SIZE] [-trace OUT] FILE
+                   (-trace records an event trace: .jsonl = JSON lines, else Chrome JSON)`)
 	os.Exit(2)
 }
 
@@ -137,6 +140,7 @@ func cmdRun(args []string) {
 	memMB := fs.Int64("mem", 8, "nominal aggregation memory per node, MB")
 	cores := fs.Int("cores", 12, "cores per node")
 	seed := fs.Uint64("seed", 42, "simulation seed")
+	traceOut := fs.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -192,13 +196,35 @@ func cmdRun(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	res, err := bench.RunOnce(bench.Spec{Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: rp})
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	res, err := bench.RunOnce(bench.Spec{Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: rp, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("replayed %s with %s %s on %d nodes x %d cores\n",
 		fs.Arg(0), *strategy, *op, nodes, *cores)
 	fmt.Println(res.String())
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			err = tracer.WriteJSONL(f)
+		} else {
+			err = tracer.WriteChrome(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
 }
 
 func maxInt(a, b int) int {

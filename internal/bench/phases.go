@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/obs"
+)
+
+// breakdownPhases are the top-level pipeline phases the breakdown table
+// reports, in presentation order.
+var breakdownPhases = []obs.Phase{
+	obs.PhasePlan, obs.PhaseReqExchange, obs.PhaseBarrier, obs.PhasePack,
+	obs.PhaseIntra, obs.PhaseExchange, obs.PhaseRMW, obs.PhaseAssembly,
+	obs.PhaseIO,
+}
+
+// PhaseBreakdown runs both strategies, write and read, with tracing
+// attached and reports where the virtual time goes: per-phase seconds
+// summed over all rank tracks. It is the tabular twin of the Chrome
+// trace — the same spans, folded instead of plotted.
+func PhaseBreakdown(o Options) (*Table, error) {
+	o = o.withDefaults()
+	wl := iorWorkload(24, o.Scale)
+	const nodes = 2
+	mem := int64(16 << 20)
+	fcfg := testbedFS(o.Seed)
+	mcfg := testbedMachine(nodes, mem, SigmaBytes, o.Seed)
+	mccOpts := mccioOptions(mcfg, fcfg, wl.TotalBytes(), mem)
+
+	t := &Table{
+		Title: "Phase breakdown: per-phase seconds summed over ranks (24 processes, 16MB/agg)",
+		Headers: []string{"strategy", "op", "MB/s", "plan", "req-exch", "barrier", "pack",
+			"intra", "exchange", "rmw", "assembly", "io"},
+	}
+	runs := []struct {
+		s  iolib.Collective
+		op string
+	}{
+		{collio.TwoPhase{CBBuffer: mem}, "write"},
+		{core.MCCIO{Opts: mccOpts}, "write"},
+		{collio.TwoPhase{CBBuffer: mem}, "read"},
+		{core.MCCIO{Opts: mccOpts}, "read"},
+	}
+	for _, r := range runs {
+		res, sum, err := RunOncePhases(Spec{Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg, Workload: wl})
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", r.s.Name(), r.op, err)
+		}
+		o.logf("  phases %s: %s", r.s.Name(), res.String())
+		row := []string{r.s.Name(), r.op, fmt.Sprintf("%.1f", res.BandwidthMBps())}
+		for _, p := range breakdownPhases {
+			row = append(row, fmt.Sprintf("%.4f", sum.PhaseSeconds(p)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("workload: %s, %.2f GB total", wl.Name(), float64(wl.TotalBytes())/1e9),
+		"seconds are summed across all rank tracks; one rank's phases tile its own timeline",
+	)
+	return t, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/iolib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -39,6 +40,10 @@ type Spec struct {
 	// axis (one MPI_File_write_all per transfer). 0 or 1 means a single
 	// call covering the whole view. Elapsed spans all calls.
 	Calls int
+	// Tracer, when non-nil, records event-level spans for the run. The
+	// runner binds it to the engine's virtual clock and attaches it to
+	// the machine; nil keeps tracing fully disabled.
+	Tracer *obs.Tracer
 }
 
 // RunOnce executes one collective operation and returns the global
@@ -60,6 +65,10 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	world, err := mpi.NewWorld(engine, machine, nprocs)
 	if err != nil {
 		return trace.Result{}, err
+	}
+	if spec.Tracer != nil {
+		spec.Tracer.SetClock(engine.Now)
+		machine.SetTracer(spec.Tracer)
 	}
 	file := iolib.Open(fs, "bench.dat")
 
@@ -109,6 +118,18 @@ func RunOnce(spec Spec) (trace.Result, error) {
 		return trace.Result{}, verifyErr
 	}
 	return res, nil
+}
+
+// RunOncePhases executes spec with a fresh tracer attached and returns
+// the result together with the trace's phase-breakdown summary.
+func RunOncePhases(spec Spec) (trace.Result, *obs.Summary, error) {
+	tr := obs.NewTracer()
+	spec.Tracer = tr
+	res, err := RunOnce(spec)
+	if err != nil {
+		return trace.Result{}, nil, err
+	}
+	return res, obs.Summarize(tr.Events()), nil
 }
 
 // runChunked issues one collective call per consecutive view chunk and

@@ -14,6 +14,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/stats"
 )
@@ -82,6 +83,7 @@ type Node struct {
 
 	used      int64
 	highWater int64
+	tracer    *obs.Tracer // ledger counter events; nil disables
 
 	MemBus *resource.Link // off-chip memory bandwidth, shared by all cores on the node
 	NICTx  *resource.Link
@@ -97,6 +99,12 @@ func (n *Node) Used() int64 { return n.used }
 // HighWater returns the peak allocation seen on the node.
 func (n *Node) HighWater() int64 { return n.highWater }
 
+// sample emits the node's current ledger allocation as a counter
+// event when tracing is attached.
+func (n *Node) sample() {
+	n.tracer.Counter(obs.CounterMem, obs.Loc{Rank: -1, Node: n.ID, Group: -1, Round: -1}, n.used)
+}
+
 // Alloc reserves b bytes if available, reporting success.
 func (n *Node) Alloc(b int64) bool {
 	if b < 0 {
@@ -109,6 +117,7 @@ func (n *Node) Alloc(b int64) bool {
 	if n.used > n.highWater {
 		n.highWater = n.used
 	}
+	n.sample()
 	return true
 }
 
@@ -123,6 +132,7 @@ func (n *Node) MustAlloc(b int64) {
 	if n.used > n.highWater {
 		n.highWater = n.used
 	}
+	n.sample()
 }
 
 // Free releases b bytes. Freeing more than allocated indicates a
@@ -132,6 +142,7 @@ func (n *Node) Free(b int64) {
 		panic(fmt.Sprintf("cluster: free %d with %d used on node %d", b, n.used, n.ID))
 	}
 	n.used -= b
+	n.sample()
 }
 
 // Machine is an instantiated cluster.
@@ -141,7 +152,22 @@ type Machine struct {
 	bisection *resource.Link
 	ioNet     *resource.Link
 	ranks     int // total processes (Nodes*CoresPerNode by default placement)
+	tracer    *obs.Tracer
 }
+
+// SetTracer attaches an event tracer: ledger changes on every node
+// emit memory counter events, and the MPI/PFS layers running on this
+// machine pick the tracer up for their spans. A nil tracer disables
+// tracing (the default).
+func (m *Machine) SetTracer(t *obs.Tracer) {
+	m.tracer = t
+	for _, n := range m.nodes {
+		n.tracer = t
+	}
+}
+
+// Tracer returns the attached event tracer (nil when disabled).
+func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
 
 // New builds a machine from cfg. Node memory capacities are sampled
 // deterministically from cfg.Seed when cfg.MemSigma > 0.

@@ -5,6 +5,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/iolib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -136,7 +137,11 @@ func combinePieces(pieces []shufflePiece, phantom bool) shufflePiece {
 func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.Buf, plan *Plan, m *trace.Metrics) {
 	p := c.Size()
 	me := c.Rank()
+	t := c.Tracer()
+	loc := traceLoc(c, plan)
+	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
+	sp.End()
 	if mine != nil {
 		m.AddAggregator(mine.domain.BufBytes)
 	}
@@ -148,12 +153,17 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 	present := make([]bool, p)
 
 	for r := 0; r < plan.Rounds; r++ {
+		rloc := loc
+		rloc.Round = r
+		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
+		sp.End()
 		clearScratch(vals, bytes, present)
 
 		// Intra-node layer: pack my pieces and hand them to my leader.
 		myBundle := nodeBundle{pieces: make(map[int]shufflePiece, len(plan.Domains))}
 		var packedIntra int64
+		sp = t.Begin(obs.PhasePack, rloc)
 		for di, d := range plan.Domains {
 			if r >= len(d.Windows) {
 				continue
@@ -166,7 +176,9 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 			myBundle.pieces[di] = shufflePiece{segs: segs, data: packed}
 			packedIntra += packed.Len()
 		}
+		sp.EndBytes(packedIntra, 0)
 		byDomain := make(map[int][]shufflePiece)
+		sp = t.Begin(obs.PhaseIntra, rloc)
 		if cs.amLeader {
 			for di := range plan.Domains {
 				if piece, ok := myBundle.pieces[di]; ok {
@@ -186,6 +198,7 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 			c.SendVal(cs.leaderOf[me], bundleTag, myBundle, myBundle.wireBytes())
 			m.AddExchange(packedIntra, 0, 0)
 		}
+		sp.EndBytes(packedIntra, 0)
 
 		// Inter-node layer: leaders ship one combined piece per domain.
 		var sentIntra, sentInter int64
@@ -216,14 +229,16 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		}
 
 		tExch := c.Now()
+		sp = t.Begin(obs.PhaseExchange, rloc)
 		out := c.AlltoallSparse(vals, bytes, present)
+		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
 			cov := mine.coverage.Clip(w.Off, w.End())
 			if len(cov) > 0 {
-				aggregatorWrite(f, c, plan, mine, cov, out, phantom, m)
+				aggregatorWrite(f, c, plan, mine, cov, out, phantom, m, rloc)
 			}
 			m.AddRound(r + 1)
 		}
@@ -231,18 +246,23 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 }
 
 // aggregatorWrite assembles received pieces and issues the window's
-// file writes; shared by the flat and combined write paths.
-func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov datatype.List, out []any, phantom bool, m *trace.Metrics) {
+// file writes; shared by the flat and combined write paths. rloc is
+// the caller's round-stamped trace location.
+func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov datatype.List, out []any, phantom bool, m *trace.Metrics, rloc obs.Loc) {
+	t := c.Tracer()
 	covLo, covHi := cov.Extent()
 	region := buffer.New(covHi-covLo, phantom)
 	var reqs, ioBytes int64
 	tIO := c.Now()
 	if !plan.ExactWrite && len(cov.Holes()) > 0 {
+		sp := t.Begin(obs.PhaseRMW, rloc)
 		f.ReadAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+		sp.EndBytes(covHi-covLo, 1)
 		reqs++
 		ioBytes += covHi - covLo
 	}
 	tAsm := c.Now()
+	sp := t.Begin(obs.PhaseAssembly, rloc)
 	for _, v := range out {
 		if v == nil {
 			continue
@@ -251,7 +271,9 @@ func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov
 		iolib.ScatterIntoRegion(region, covLo, piece.segs, piece.data)
 	}
 	chargeAssembly(c, cov.TotalBytes())
+	sp.EndBytes(cov.TotalBytes(), 0)
 	m.AddExchange(0, 0, c.Now()-tAsm)
+	sp = t.Begin(obs.PhaseIO, rloc)
 	if plan.ExactWrite {
 		offs := make([]int64, len(cov))
 		bufs := make([]buffer.Buf, len(cov))
@@ -267,6 +289,7 @@ func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov
 		reqs++
 		ioBytes += covHi - covLo
 	}
+	sp.EndBytes(ioBytes, reqs)
 	m.AddIO(ioBytes, reqs, c.Now()-tIO)
 }
 
@@ -276,12 +299,16 @@ func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov
 func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf, plan *Plan, m *trace.Metrics) {
 	p := c.Size()
 	me := c.Rank()
+	t := c.Tracer()
+	loc := traceLoc(c, plan)
+	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
+	cs := newCombineState(c)
+	cs.gatherViews(c, vi)
+	sp.End()
 	if mine != nil {
 		m.AddAggregator(mine.domain.BufBytes)
 	}
-	cs := newCombineState(c)
-	cs.gatherViews(c, vi)
 	phantom := dst.Phantom()
 
 	vals := make([]any, p)
@@ -289,7 +316,11 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 	present := make([]bool, p)
 
 	for r := 0; r < plan.Rounds; r++ {
+		rloc := loc
+		rloc.Round = r
+		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
+		sp.End()
 		clearScratch(vals, bytes, present)
 
 		// Aggregator: read the window's coverage and bundle pieces per
@@ -308,8 +339,11 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 					offs[i] = run.Off
 					bufs[i] = region.Slice(run.Off-covLo, run.Len)
 				}
+				sp = t.Begin(obs.PhaseIO, rloc)
 				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+				sp.EndBytes(cov.TotalBytes(), int64(len(cov)))
 				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
 
 				// Iterate requesters in rank order so bundles and the
@@ -346,6 +380,7 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 					sentIntra += i
 					sentInter += x
 				}
+				sp.EndBytes(cov.TotalBytes(), 0)
 			}
 			m.AddRound(r + 1)
 		}
@@ -368,11 +403,14 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 		}
 
 		tExch := c.Now()
+		sp = t.Begin(obs.PhaseExchange, rloc)
 		out := c.AlltoallSparse(vals, bytes, present)
+		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 
 		// Intra-node layer: leaders fan pieces out; every rank knows how
 		// many pieces to expect (one per active domain its view hits).
+		sp = t.Begin(obs.PhaseIntra, rloc)
 		if cs.amLeader {
 			for _, v := range out {
 				if v == nil {
@@ -399,5 +437,6 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 				vi.Unpack(dst, piece.segs, piece.data)
 			}
 		}
+		sp.End()
 	}
 }

@@ -5,8 +5,16 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/iolib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// traceLoc is the calling rank's track identity for engine spans:
+// world rank and node, stamped with the plan's aggregation group.
+// Round is -1; per-round spans override it.
+func traceLoc(c *mpi.Comm, plan *Plan) obs.Loc {
+	return obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: plan.Group, Round: -1}
+}
 
 // reqList is the upfront request metadata a rank sends each aggregator
 // whose domain its extent touches: its view clipped to that domain.
@@ -120,7 +128,11 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		return
 	}
 	p := c.Size()
+	t := c.Tracer()
+	loc := traceLoc(c, plan)
+	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
+	sp.End()
 	if mine != nil {
 		m.AddAggregator(mine.domain.BufBytes)
 	}
@@ -133,6 +145,8 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 	present := make([]bool, p)
 
 	for r := 0; r < plan.Rounds; r++ {
+		rloc := loc
+		rloc.Round = r
 		// ROMIO's per-round alltoallv of counts synchronizes the whole
 		// communicator: nobody starts round r+1 until the slowest
 		// aggregator finishes round r. The barrier reproduces that
@@ -140,11 +154,14 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		// group-local) communicator, subgroup strategies pay it only
 		// across their group, which is the decoupling the paper's group
 		// division buys.
+		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
+		sp.End()
 		clearScratch(vals, bytes, present)
 
 		// Sender side: pack my pieces for every domain active this round.
 		var sentIntra, sentInter int64
+		sp = t.Begin(obs.PhasePack, rloc)
 		for _, d := range plan.Domains {
 			if r >= len(d.Windows) {
 				continue
@@ -161,6 +178,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 			sentIntra += i
 			sentInter += x
 		}
+		sp.EndBytes(sentIntra+sentInter, 0)
 		// Receiver side: I expect from every rank whose requests
 		// intersect my current window.
 		if mine != nil && r < len(mine.domain.Windows) {
@@ -171,7 +189,9 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		}
 
 		tExch := c.Now()
+		sp = t.Begin(obs.PhaseExchange, rloc)
 		out := c.AlltoallSparse(vals, bytes, present)
+		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 
 		// Aggregator: assemble and write this window.
@@ -187,11 +207,14 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 					// Read-modify-write: fetch the extent so the bytes
 					// between requests survive. Safe only for a single
 					// global collective (see Plan.ExactWrite).
+					sp = t.Begin(obs.PhaseRMW, rloc)
 					f.ReadAt(c.Proc(), c.WorldRank(c.Rank()), covLo, region)
+					sp.EndBytes(covHi-covLo, 1)
 					reqs++
 					ioBytes += covHi - covLo
 				}
 				tAsm := c.Now()
+				sp = t.Begin(obs.PhaseAssembly, rloc)
 				for _, v := range out {
 					if v == nil {
 						continue
@@ -200,7 +223,9 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 					iolib.ScatterIntoRegion(region, covLo, piece.segs, piece.data)
 				}
 				chargeAssembly(c, cov.TotalBytes())
+				sp.EndBytes(cov.TotalBytes(), 0)
 				m.AddExchange(0, 0, c.Now()-tAsm)
+				sp = t.Begin(obs.PhaseIO, rloc)
 				if plan.ExactWrite {
 					// One request per covered run, issued as a pipelined
 					// batch: never touches bytes between requests, so
@@ -219,6 +244,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 					reqs++
 					ioBytes += covHi - covLo
 				}
+				sp.EndBytes(ioBytes, reqs)
 				m.AddIO(ioBytes, reqs, c.Now()-tIO)
 			}
 			m.AddRound(r + 1)
@@ -238,7 +264,11 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		return
 	}
 	p := c.Size()
+	t := c.Tracer()
+	loc := traceLoc(c, plan)
+	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
+	sp.End()
 	if mine != nil {
 		m.AddAggregator(mine.domain.BufBytes)
 	}
@@ -250,8 +280,12 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 	present := make([]bool, p)
 
 	for r := 0; r < plan.Rounds; r++ {
+		rloc := loc
+		rloc.Round = r
 		// Same lock-step as the write path; see ExecuteWrite.
+		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
+		sp.End()
 		clearScratch(vals, bytes, present)
 
 		// Aggregator: read my window's coverage and carve per-rank pieces.
@@ -272,8 +306,11 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 					offs[i] = run.Off
 					bufs[i] = region.Slice(run.Off-covLo, run.Len)
 				}
+				sp = t.Begin(obs.PhaseIO, rloc)
 				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
+				sp.EndBytes(cov.TotalBytes(), int64(len(cov)))
 				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
 				for src, segs := range mine.othersReq {
 					clip := segs.Clip(w.Off, w.End())
@@ -287,6 +324,7 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 					sentIntra += i
 					sentInter += x
 				}
+				sp.EndBytes(cov.TotalBytes(), 0)
 			}
 			m.AddRound(r + 1)
 		}
@@ -303,9 +341,12 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		}
 
 		tExch := c.Now()
+		sp = t.Begin(obs.PhaseExchange, rloc)
 		out := c.AlltoallSparse(vals, bytes, present)
+		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 
+		sp = t.Begin(obs.PhasePack, rloc)
 		for _, v := range out {
 			if v == nil {
 				continue
@@ -313,5 +354,6 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 			piece := v.(shufflePiece)
 			vi.Unpack(dst, piece.segs, piece.data)
 		}
+		sp.End()
 	}
 }

@@ -54,6 +54,12 @@ type Plan struct {
 	Exts    []Ext // per comm rank, from the strategy's allgather
 	Rounds  int   // max over domains
 
+	// Group is the aggregation-group index this plan executes for —
+	// the trace/observability identity of the schedule. Single-group
+	// strategies leave it 0; the memory-conscious strategy stamps each
+	// group's plan with its color.
+	Group int
+
 	// NodeCombine enables the two-layer (intra-node, inter-node)
 	// exchange: ranks funnel their round pieces to a per-node leader
 	// over the memory bus and only leaders cross the fabric. See

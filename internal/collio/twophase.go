@@ -5,6 +5,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/iolib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -137,7 +138,9 @@ func chargeBuffer(c *mpi.Comm, d *Domain) func() {
 
 // WriteAll implements iolib.Collective.
 func (tp TwoPhase) WriteAll(f *iolib.File, c *mpi.Comm, view datatype.List, data buffer.Buf, m *trace.Metrics) {
+	sp := c.Tracer().Begin(obs.PhasePlan, obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: 0, Round: -1})
 	plan := tp.BuildPlan(c, view)
+	sp.End()
 	m.SetGroups(1)
 	vi := iolib.NewViewIndex(view)
 	var release func()
@@ -152,7 +155,9 @@ func (tp TwoPhase) WriteAll(f *iolib.File, c *mpi.Comm, view datatype.List, data
 
 // ReadAll implements iolib.Collective.
 func (tp TwoPhase) ReadAll(f *iolib.File, c *mpi.Comm, view datatype.List, dst buffer.Buf, m *trace.Metrics) {
+	sp := c.Tracer().Begin(obs.PhasePlan, obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: 0, Round: -1})
 	plan := tp.BuildPlan(c, view)
+	sp.End()
 	m.SetGroups(1)
 	vi := iolib.NewViewIndex(view)
 	var release func()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/iolib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/trace"
 )
@@ -137,6 +138,12 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 	if err := mc.Opts.Validate(); err != nil {
 		panic(err)
 	}
+	// The whole planning pipeline — metadata allgather, group division,
+	// in-group view exchange, partition tree, placement, plan broadcast —
+	// is one top-level plan span. Groups do not exist yet when it opens,
+	// so its location carries no group.
+	t := c.Tracer()
+	psp := t.Begin(obs.PhasePlan, obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: -1, Round: -1})
 	machine := c.World().Machine()
 	lo, hi := view.Extent()
 	meta := rankMeta{
@@ -170,6 +177,13 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 	groups := DivideGroupsMemAware(func(r int) int { return metas[r].Node }, bytesPer, msggroup,
 		nodeAvailOf, mc.Opts.Memmin)
 	colors := ColorOf(groups, c.Size())
+	if c.Rank() == 0 {
+		var total int64
+		for _, b := range bytesPer {
+			total += b
+		}
+		t.Instant(obs.EventGroupDivision, obs.Loc{Rank: c.WorldRank(0), Node: c.NodeOf(0), Group: -1, Round: -1}, total, int64(len(groups)))
+	}
 	m.SetGroups(len(groups))
 	sub := c.Split(colors[c.Rank()], 0)
 	g := groups[colors[c.Rank()]]
@@ -224,6 +238,15 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 			placements := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm).Place()
 			remerges = pm.Remerges
 
+			gloc := obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: colors[c.Rank()], Round: -1}
+			t.Instant(obs.EventPartition, gloc, coverage.TotalBytes(), int64(len(placements)))
+			if remerges > 0 {
+				t.Instant(obs.EventRemerge, gloc, 0, int64(remerges))
+			}
+			for _, pl := range placements {
+				t.Instant(obs.EventPlace, gloc, pl.Buf, int64(pl.Agg))
+			}
+
 			for _, pl := range placements {
 				domCov := coverage.Clip(pl.Leaf.Lo, pl.Leaf.Hi)
 				plan.Domains = append(plan.Domains, collio.Domain{
@@ -236,6 +259,10 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 		}
 	}
 	plan = sub.Bcast(0, plan, planWireBytes(plan)).(*collio.Plan)
+	// Stamp the group identity so engine spans carry it. All ranks of a
+	// group share the plan pointer and the same color, so this is stable.
+	plan.Group = colors[c.Rank()]
+	psp.End()
 	for i := 0; i < remerges; i++ {
 		m.AddRemerge()
 	}

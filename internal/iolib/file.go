@@ -10,6 +10,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -82,7 +83,11 @@ func Run(s Collective, op string, f *File, c *mpi.Comm, view datatype.List, data
 	default:
 		panic("iolib: op must be \"write\" or \"read\"")
 	}
+	// The closing barrier is inside the measured window, so trace it as a
+	// top-level phase; the opening one above is not (start is taken after).
+	sp := c.Tracer().Begin(obs.PhaseBarrier, obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: -1, Round: -1})
 	c.Barrier()
+	sp.End()
 	end := c.Now()
 	bytes := c.AllreduceInt64(view.TotalBytes(), mpi.SumInt64)
 	// Metrics are per-rank; fold them so rank 0's Result is global.

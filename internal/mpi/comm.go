@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -47,6 +48,16 @@ func (c *Comm) NodeOf(r int) int { return c.w.machine.NodeOfRank(c.group[r]) }
 
 // Now returns the caller's virtual time.
 func (c *Comm) Now() float64 { return c.p.Now() }
+
+// Tracer returns the event tracer attached to the machine, or nil when
+// tracing is disabled. All obs.Tracer methods are nil-safe, so callers
+// may use the result unconditionally.
+func (c *Comm) Tracer() *obs.Tracer { return c.w.machine.Tracer() }
+
+// traceLoc is the caller's track identity for MPI-level wait spans.
+func (c *Comm) traceLoc() obs.Loc {
+	return obs.Loc{Rank: c.group[c.rank], Node: c.w.machine.NodeOfRank(c.group[c.rank]), Group: -1, Round: -1}
+}
 
 func (c *Comm) checkRank(r int, what string) {
 	if r < 0 || r >= len(c.group) {
@@ -141,6 +152,7 @@ func (c *Comm) Barrier() {
 	if p == 1 {
 		return
 	}
+	sp := c.Tracer().Begin(obs.PhaseMPIBarrier, c.traceLoc())
 	c.w.barrierFor(c.ctx, p).Await(c.p)
 	steps := 0
 	for dist := 1; dist < p; dist *= 2 {
@@ -149,6 +161,7 @@ func (c *Comm) Barrier() {
 	cfg := c.w.machine.Config()
 	hop := 2*cfg.NICLat + cfg.BisectionLat + 2*cfg.MemBusLat
 	c.p.Sleep(float64(steps) * hop)
+	sp.End()
 }
 
 // bcastMsg carries the payload size alongside the value so forwarding
@@ -248,18 +261,23 @@ func (c *Comm) Alltoall(vals []any, bytes []int64) []any {
 		panic(fmt.Sprintf("mpi: alltoall with %d vals, %d sizes for comm of %d", len(vals), len(bytes), p))
 	}
 	const tag = tagAlltoall
+	sp := c.Tracer().Begin(obs.PhaseMPIAlltoall, c.traceLoc())
+	var sent int64
 	out := make([]any, p)
 	out[c.rank] = vals[c.rank]
 	if bytes[c.rank] > 0 {
 		// Self-exchange still crosses the local memory bus.
 		c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+		sent += bytes[c.rank]
 	}
 	for step := 1; step < p; step++ {
 		dst := (c.rank + step) % p
 		src := (c.rank - step + p) % p
 		c.isend(dst, tag, vals[dst], bytes[dst])
+		sent += bytes[dst]
 		out[src] = c.irecv(src, tag)
 	}
+	sp.EndBytes(sent, int64(p))
 	return out
 }
 
@@ -274,11 +292,15 @@ func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
 		panic("mpi: alltoallsparse length mismatch")
 	}
 	const tag = tagAlltoall
+	sp := c.Tracer().Begin(obs.PhaseMPIAlltoall, c.traceLoc())
+	var sent, pairs int64
 	out := make([]any, p)
 	if vals[c.rank] != nil {
 		out[c.rank] = vals[c.rank]
 		if bytes[c.rank] > 0 {
 			c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+			sent += bytes[c.rank]
+			pairs++
 		}
 	}
 	for step := 1; step < p; step++ {
@@ -286,11 +308,14 @@ func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
 		src := (c.rank - step + p) % p
 		if vals[dst] != nil {
 			c.isend(dst, tag, vals[dst], bytes[dst])
+			sent += bytes[dst]
+			pairs++
 		}
 		if present[src] {
 			out[src] = c.irecv(src, tag)
 		}
 	}
+	sp.EndBytes(sent, pairs)
 	return out
 }
 

@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledRoundLoop measures the per-round cost of the engine
+// instrumentation with tracing off (nil tracer). The contract is zero
+// allocations and a handful of nanoseconds.
+func BenchmarkDisabledRoundLoop(b *testing.B) {
+	var tr *Tracer
+	loc := Loc{Rank: 3, Node: 1, Group: 0, Round: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(PhaseBarrier, loc)
+		sp.End()
+		sp = tr.Begin(PhasePack, loc)
+		sp.EndBytes(1024, 0)
+		sp = tr.Begin(PhaseExchange, loc)
+		sp.EndBytes(2048, 0)
+		sp = tr.Begin(PhaseRMW, loc)
+		sp.EndBytes(4096, 1)
+		sp = tr.Begin(PhaseAssembly, loc)
+		sp.EndBytes(4096, 0)
+		sp = tr.Begin(PhaseIO, loc)
+		sp.EndBytes(8192, 2)
+		tr.Instant(EventStripe, loc, 64, 1)
+		tr.Counter(CounterMem, loc, 4096)
+	}
+}
+
+// BenchmarkEnabledRoundLoop is the enabled-path cost for comparison.
+func BenchmarkEnabledRoundLoop(b *testing.B) {
+	tr := NewTracer()
+	var now float64
+	tr.SetClock(func() float64 { now += 1e-6; return now })
+	loc := Loc{Rank: 3, Node: 1, Group: 0, Round: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(PhaseExchange, loc)
+		sp.EndBytes(2048, 0)
+		sp = tr.Begin(PhaseIO, loc)
+		sp.EndBytes(8192, 2)
+		if tr.Len() > 1<<16 {
+			tr.Reset()
+		}
+	}
+}

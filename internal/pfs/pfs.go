@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -133,6 +134,17 @@ func (fs *FS) Stats() Stats {
 	return s
 }
 
+// traceLoc is the issuing rank's track identity for service spans.
+func (fs *FS) traceLoc(rank int) obs.Loc {
+	return obs.Loc{Rank: rank, Node: fs.machine.NodeOfRank(rank), Group: -1, Round: -1}
+}
+
+// traceStripe records one per-OST service run as an instant event when
+// tracing is attached (nil-safe otherwise).
+func (fs *FS) traceStripe(t *obs.Tracer, loc obs.Loc, run ostRun) {
+	t.Instant(obs.EventStripe, loc, run.bytes, int64(run.ost))
+}
+
 // jitter draws one request's interference delay.
 func (fs *FS) jitter() float64 {
 	if fs.cfg.JitterMean <= 0 {
@@ -211,18 +223,25 @@ func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) flo
 	if off < 0 {
 		panic(fmt.Sprintf("pfs: write at negative offset %d", off))
 	}
+	t := f.fs.machine.Tracer()
+	loc := f.fs.traceLoc(rank)
+	sp := t.Begin(obs.PhasePFSWrite, loc)
 	f.storeBytes(off, buf)
 	base := f.fs.machine.StoragePath(rank)
 	done := p.Now()
+	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
 		end := base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
 		f.fs.reqs++
+		reqs++
+		f.fs.traceStripe(t, loc, run)
 	}
 	f.fs.bytesWritten += n
 	p.WaitUntil(done)
+	sp.EndBytes(n, reqs)
 	return done
 }
 
@@ -237,18 +256,25 @@ func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) floa
 	if off < 0 {
 		panic(fmt.Sprintf("pfs: read at negative offset %d", off))
 	}
+	t := f.fs.machine.Tracer()
+	loc := f.fs.traceLoc(rank)
+	sp := t.Begin(obs.PhasePFSRead, loc)
 	f.loadBytes(off, dst)
 	base := f.fs.machine.StorageReturnPath(rank)
 	done := p.Now()
+	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
 		end := resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
 		f.fs.reqs++
+		reqs++
+		f.fs.traceStripe(t, loc, run)
 	}
 	f.fs.bytesRead += n
 	p.WaitUntil(done)
+	sp.EndBytes(n, reqs)
 	return done
 }
 
@@ -260,8 +286,12 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 	if len(offs) != len(bufs) {
 		panic(fmt.Sprintf("pfs: WriteVec with %d offsets, %d payloads", len(offs), len(bufs)))
 	}
+	t := f.fs.machine.Tracer()
+	loc := f.fs.traceLoc(rank)
+	sp := t.Begin(obs.PhasePFSWrite, loc)
 	base := f.fs.machine.StoragePath(rank)
 	done := p.Now()
+	var reqs, bytes int64
 	for i, off := range offs {
 		n := bufs[i].Len()
 		if n == 0 {
@@ -277,10 +307,14 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 				done = end
 			}
 			f.fs.reqs++
+			reqs++
+			f.fs.traceStripe(t, loc, run)
 		}
 		f.fs.bytesWritten += n
+		bytes += n
 	}
 	p.WaitUntil(done)
+	sp.EndBytes(bytes, reqs)
 	return done
 }
 
@@ -290,8 +324,12 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 	if len(offs) != len(bufs) {
 		panic(fmt.Sprintf("pfs: ReadVec with %d offsets, %d payloads", len(offs), len(bufs)))
 	}
+	t := f.fs.machine.Tracer()
+	loc := f.fs.traceLoc(rank)
+	sp := t.Begin(obs.PhasePFSRead, loc)
 	base := f.fs.machine.StorageReturnPath(rank)
 	done := p.Now()
+	var reqs, bytes int64
 	for i, off := range offs {
 		n := bufs[i].Len()
 		if n == 0 {
@@ -307,10 +345,14 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 				done = end
 			}
 			f.fs.reqs++
+			reqs++
+			f.fs.traceStripe(t, loc, run)
 		}
 		f.fs.bytesRead += n
+		bytes += n
 	}
 	p.WaitUntil(done)
+	sp.EndBytes(bytes, reqs)
 	return done
 }
 

@@ -95,6 +95,9 @@ func (m *Metrics) SetGroups(n int) {
 // "reduces aggregator memory consumption and variance" claim is checked
 // on Mean and CV.
 func (m *Metrics) AggBufferStats() stats.Summary {
+	if m == nil {
+		return stats.Summary{}
+	}
 	xs := make([]float64, len(m.AggBufferBytes))
 	for i, b := range m.AggBufferBytes {
 		xs[i] = float64(b)

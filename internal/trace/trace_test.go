@@ -13,6 +13,9 @@ func TestNilMetricsSafe(t *testing.T) {
 	m.AddAggregator(100)
 	m.AddRemerge()
 	m.SetGroups(2)
+	if s := m.AggBufferStats(); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("nil metrics stats %+v, want zero summary", s)
+	}
 }
 
 func TestAddRoundKeepsMax(t *testing.T) {
