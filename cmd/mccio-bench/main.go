@@ -13,23 +13,40 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
+		jsonPath   = flag.String("json", "", "write the regression trajectory (schema-versioned bench JSON) to this file; implies -experiment regression unless one is named")
+		serveAddr  = flag.String("serve", "", "serve Prometheus metrics on ADDR at /metrics during the runs and keep serving afterwards until interrupted")
 	)
 	flag.Parse()
 
 	opts := bench.Options{Scale: *scale, Seed: *seed}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	if *jsonPath != "" && *experiment == "all" {
+		*experiment = "regression"
+	}
+
+	reg := metrics.New()
+	if *serveAddr != "" {
+		ln, err := metrics.Serve(*serveAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	var tables []*bench.Table
@@ -80,6 +97,23 @@ func main() {
 	if want("phases") {
 		runT("phases", bench.PhaseBreakdown)
 	}
+	if *experiment == "regression" {
+		fmt.Fprintf(os.Stderr, "running regression (scale %.3g)...\n", *scale)
+		traj, err := bench.RunRegression(opts, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: regression: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, trajectoryTable(traj))
+		if *jsonPath != "" {
+			traj.Created = time.Now().UTC().Format(time.RFC3339)
+			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "mccio-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -101,4 +135,25 @@ func main() {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "runs complete; still serving /metrics — interrupt to exit")
+		select {}
+	}
+}
+
+// trajectoryTable renders a bench trajectory for stdout.
+func trajectoryTable(b *bench.BenchFile) *bench.Table {
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Regression bench (scale %.3g, seed %d)", b.Scale, b.Seed),
+		Headers: []string{"experiment", "MB/s", "rounds", "aggs", "io MB", "shuffle MB"},
+	}
+	for _, r := range b.Experiments {
+		t.AddRow(r.Key,
+			fmt.Sprintf("%.1f", r.BandwidthMBps),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%d", r.Aggregators),
+			fmt.Sprintf("%.1f", float64(r.BytesIO)/1e6),
+			fmt.Sprintf("%.1f", float64(r.ShuffleIntra+r.ShuffleInter)/1e6))
+	}
+	return t
 }

@@ -1,49 +1,141 @@
-// Command mccio-report aggregates a recorded event trace into the
-// phase-breakdown report: per-phase and per-round seconds, per-group
-// exchange traffic, and per-node memory high-water marks.
+// Command mccio-report turns recorded observability artifacts into
+// human-readable reports.
 //
-// It accepts either trace format the simulator writes — Chrome
-// trace_event JSON (-trace foo.json) or JSON lines (-trace foo.jsonl) —
-// and sniffs which one it was given.
+//	mccio-report summarize TRACE-FILE
+//	  Aggregate an event trace (Chrome trace_event JSON or JSONL,
+//	  auto-detected) into the phase-breakdown report: per-phase and
+//	  per-round seconds, per-group exchange traffic, per-node memory
+//	  high-water marks.
 //
-//	mccio-sim -strategy mccio -op write -trace run.json
-//	mccio-report run.json
+//	mccio-report compare [-threshold PCT] OLD.json NEW.json
+//	  Diff two bench trajectories written by mccio-bench -json and
+//	  print the per-experiment bandwidth deltas. Exits 1 when any
+//	  experiment's bandwidth fell more than PCT percent (default 10),
+//	  which is how CI gates regressions.
+//
+// A bare trace-file argument (mccio-report run.json) is accepted as
+// shorthand for summarize, for compatibility with earlier versions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mccio-report TRACE-FILE\n\nTRACE-FILE is a trace written by mccio-sim -trace or mccio-trace run -trace\n(Chrome trace_event JSON or JSONL; the format is auto-detected).")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  mccio-report summarize TRACE-FILE
+  mccio-report compare [-threshold PCT] OLD.json NEW.json
+
+summarize aggregates an event trace written by mccio-sim -trace
+(Chrome trace_event JSON or JSONL; auto-detected) into the phase
+breakdown. compare diffs two bench trajectories written by
+mccio-bench -json and exits 1 if any experiment regressed more than
+the threshold. A bare TRACE-FILE argument implies summarize.`)
+}
+
+// run dispatches the subcommand and returns the process exit code:
+// 0 success, 1 operational failure (including detected regressions),
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	switch args[0] {
+	case "summarize":
+		return summarize(args[1:], stdout, stderr)
+	case "compare":
+		return compare(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
 	}
-	f, err := os.Open(flag.Arg(0))
+	// Back-compat: a single non-flag argument naming an existing file
+	// is the old "mccio-report TRACE" spelling.
+	if len(args) == 1 && !strings.HasPrefix(args[0], "-") {
+		if _, err := os.Stat(args[0]); err == nil {
+			return summarize(args, stdout, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "mccio-report: unknown subcommand or file %q\n\n", args[0])
+	usage(stderr)
+	return 2
+}
+
+func summarize(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	events, err := obs.ParseAuto(f)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return 1
 	}
 	if len(events) == 0 {
-		fatal(fmt.Errorf("%s contains no events", flag.Arg(0)))
+		fmt.Fprintf(stderr, "mccio-report: %s contains no events\n", path)
+		return 1
 	}
-	fmt.Printf("%s: %d events\n", flag.Arg(0), len(events))
-	obs.Summarize(events).WriteText(os.Stdout)
+	fmt.Fprintf(stdout, "%s: %d events\n", path, len(events))
+	obs.Summarize(events).WriteText(stdout)
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "mccio-report: %v\n", err)
-	os.Exit(1)
+func compare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent bandwidth drop")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintf(stderr, "mccio-report: negative threshold %g\n", *threshold)
+		return 2
+	}
+	old, err := bench.ReadBenchFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return 1
+	}
+	cur, err := bench.ReadBenchFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return 1
+	}
+	table, _, regressed := bench.CompareBench(old, cur, *threshold)
+	table.WriteText(stdout)
+	if regressed > 0 {
+		fmt.Fprintf(stderr, "mccio-report: %d experiment(s) regressed more than %.1f%%\n", regressed, *threshold)
+		return 1
+	}
+	return 0
 }

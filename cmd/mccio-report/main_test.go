@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func writeTraj(t *testing.T, name string, bw ...float64) string {
+	t.Helper()
+	bf := &bench.BenchFile{Schema: bench.BenchSchemaVersion, Scale: 1, Seed: 42}
+	for i, b := range bw {
+		bf.Experiments = append(bf.Experiments, bench.BenchRow{
+			Key: []string{"a", "b", "c"}[i%3], BandwidthMBps: b,
+		})
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := bench.WriteBenchFile(path, bf); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"frobnicate"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("stderr missing usage:\n%s", errb.String())
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"compare", "-bogus-flag", "a", "b"}, &out, &errb); code != 2 {
+		t.Errorf("bad-flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"compare", "just-one.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing-arg exit = %d, want 2", code)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	old := writeTraj(t, "old.json", 100, 200)
+	same := writeTraj(t, "same.json", 100, 200)
+	bad := writeTraj(t, "bad.json", 100, 120) // b: -40%
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", old, same}, &out, &errb); code != 0 {
+		t.Errorf("identical trajectories: exit = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"compare", old, bad}, &out, &errb); code != 1 {
+		t.Errorf("regressed trajectory: exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("table missing REGRESSED verdict:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"compare", "-threshold", "50", old, bad}, &out, &errb); code != 0 {
+		t.Errorf("loose threshold: exit = %d, want 0", code)
+	}
+	if code := run([]string{"compare", old, filepath.Join(t.TempDir(), "absent.json")}, &out, &errb); code != 1 {
+		t.Errorf("unreadable file: exit = %d, want 1", code)
+	}
+}
+
+func TestRunSummarizeBareFile(t *testing.T) {
+	// The old "mccio-report TRACE" spelling still works: one JSONL event.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	line := `{"kind":"span","phase":"io","t0":0,"t1":1,"rank":0,"node":0,"group":-1,"round":0,"bytes":10,"extra":1}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Errorf("bare file: exit = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1 events") {
+		t.Errorf("missing event count:\n%s", out.String())
+	}
+	if code := run([]string{"summarize", path}, &out, &errb); code != 0 {
+		t.Errorf("summarize: exit = %d, want 0", code)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/trace"
@@ -69,6 +70,8 @@ func main() {
 		combine   = flag.Bool("combine", false, "enable the two-layer (intra-node/inter-node) exchange")
 		hints     = flag.String("hints", "", "MPI_Info-style hints (overrides -strategy); 'help' lists keys")
 		tracePath = flag.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON for Perfetto) and print the phase breakdown")
+		serveAddr = flag.String("serve", "", "serve Prometheus metrics on ADDR (e.g. :9090) at /metrics and keep serving after the run until interrupted")
+		metaPath  = flag.String("metrics", "", "write a one-shot JSON metrics dump to FILE after the run")
 	)
 	flag.Parse()
 
@@ -126,9 +129,22 @@ func main() {
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
 	}
+	var reg *metrics.Registry
+	if *serveAddr != "" || *metaPath != "" {
+		reg = metrics.New()
+	}
+	// The exporter comes up before the run so the endpoint can be
+	// scraped while the simulation executes.
+	if *serveAddr != "" {
+		ln, err := metrics.Serve(*serveAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 	res, err := bench.RunOnce(bench.Spec{
 		Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: *verify,
-		Tracer: tracer,
+		Tracer: tracer, Metrics: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -141,6 +157,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *tracePath)
 		obs.Summarize(tracer.Events()).WriteText(os.Stdout)
 	}
+	if *metaPath != "" {
+		if err := writeMetricsJSON(*metaPath, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics dump to %s\n", *metaPath)
+	}
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "run complete; still serving /metrics — interrupt to exit")
+		select {}
+	}
+}
+
+// writeMetricsJSON dumps the registry snapshot as indented JSON.
+func writeMetricsJSON(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteJSON(f)
 }
 
 // writeTrace serializes the trace; the extension picks the format.

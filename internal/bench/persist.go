@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// BenchSchemaVersion versions the persisted trajectory format. Readers
+// reject files written under a different schema instead of silently
+// comparing incompatible rows.
+const BenchSchemaVersion = 1
+
+// BenchRow is one experiment point of a persisted trajectory: the
+// result a run's rank 0 reported, flattened to stable JSON names so
+// trajectories written by different builds stay comparable.
+type BenchRow struct {
+	Key             string  `json:"key"` // e.g. "mem=16MB/mccio/write"
+	BandwidthMBps   float64 `json:"bandwidth_mbps"`
+	Bytes           int64   `json:"bytes"`
+	Elapsed         float64 `json:"elapsed_s"`
+	Rounds          int     `json:"rounds"`
+	Aggregators     int     `json:"aggregators"`
+	Groups          int     `json:"groups"`
+	Remerges        int     `json:"remerges"`
+	BytesIO         int64   `json:"bytes_io"`
+	IORequests      int64   `json:"io_requests"`
+	ShuffleIntra    int64   `json:"shuffle_intra_bytes"`
+	ShuffleInter    int64   `json:"shuffle_inter_bytes"`
+	ExchangeSeconds float64 `json:"exchange_s"`
+	IOSeconds       float64 `json:"io_s"`
+	AggBufMedian    float64 `json:"agg_buf_median"`
+	AggBufP95       float64 `json:"agg_buf_p95"`
+}
+
+// RowFromResult flattens one run result into a trajectory row.
+func RowFromResult(key string, r trace.Result) BenchRow {
+	bufs := r.AggBufferStats()
+	return BenchRow{
+		Key:             key,
+		BandwidthMBps:   r.BandwidthMBps(),
+		Bytes:           r.Bytes,
+		Elapsed:         r.Elapsed,
+		Rounds:          r.Rounds,
+		Aggregators:     r.Aggregators,
+		Groups:          r.Groups,
+		Remerges:        r.Remerges,
+		BytesIO:         r.BytesIO,
+		IORequests:      r.IORequests,
+		ShuffleIntra:    r.BytesShuffleIntra,
+		ShuffleInter:    r.BytesShuffleInter,
+		ExchangeSeconds: r.ExchangeSeconds,
+		IOSeconds:       r.IOSeconds,
+		AggBufMedian:    bufs.Median,
+		AggBufP95:       bufs.P95,
+	}
+}
+
+// BenchFile is a persisted bench trajectory: the experiment rows of one
+// fixed-seed run plus the metrics-registry snapshot taken after it.
+// Virtual-time simulation makes the numbers a pure function of
+// (schema, scale, seed), so a checked-in file doubles as a regression
+// baseline on any host.
+type BenchFile struct {
+	Schema      int               `json:"schema"`
+	Created     string            `json:"created,omitempty"` // RFC3339, stamped by the writer
+	Scale       float64           `json:"scale"`
+	Seed        uint64            `json:"seed"`
+	Experiments []BenchRow        `json:"experiments"`
+	Metrics     *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// Row returns the row with the given key, or nil.
+func (b *BenchFile) Row(key string) *BenchRow {
+	for i := range b.Experiments {
+		if b.Experiments[i].Key == key {
+			return &b.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// WriteBenchFile writes the trajectory as indented JSON.
+func WriteBenchFile(path string, b *BenchFile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchFile reads a trajectory and rejects unknown schemas.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if b.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d, this build reads %d", path, b.Schema, BenchSchemaVersion)
+	}
+	return &b, nil
+}
+
+// Delta is one key's bandwidth movement between two trajectories.
+type Delta struct {
+	Key       string
+	Old, New  float64 // MB/s
+	Pct       float64 // (New/Old - 1) * 100
+	Regressed bool    // New fell more than the threshold below Old
+}
+
+// CompareBench diffs two trajectories row by row (matched on Key) and
+// returns a printable table, the per-key deltas, and the number of
+// regressions: rows whose bandwidth fell by more than thresholdPct
+// percent. Keys present in only one file are reported as notes, never
+// as regressions.
+func CompareBench(old, new *BenchFile, thresholdPct float64) (*Table, []Delta, int) {
+	t := &Table{
+		Title:   "Bench trajectory comparison",
+		Headers: []string{"experiment", "old MB/s", "new MB/s", "delta", "verdict"},
+	}
+	var deltas []Delta
+	regressed := 0
+	for _, or := range old.Experiments {
+		nr := new.Row(or.Key)
+		if nr == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: missing from new trajectory", or.Key))
+			continue
+		}
+		d := Delta{Key: or.Key, Old: or.BandwidthMBps, New: nr.BandwidthMBps}
+		if d.Old > 0 {
+			d.Pct = (d.New/d.Old - 1) * 100
+		}
+		d.Regressed = d.New < d.Old*(1-thresholdPct/100)
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		deltas = append(deltas, d)
+		t.AddRow(d.Key,
+			fmt.Sprintf("%.1f", d.Old),
+			fmt.Sprintf("%.1f", d.New),
+			fmt.Sprintf("%+.1f%%", d.Pct),
+			verdict)
+	}
+	for _, nr := range new.Experiments {
+		if old.Row(nr.Key) == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: new experiment, no baseline", nr.Key))
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("threshold: fail when bandwidth drops more than %.1f%%", thresholdPct))
+	return t, deltas, regressed
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func syntheticFile() *BenchFile {
+	return &BenchFile{
+		Schema: BenchSchemaVersion, Scale: 1, Seed: 42,
+		Experiments: []BenchRow{
+			{Key: "mem=4MB/two-phase/write", BandwidthMBps: 100, Bytes: 1 << 20},
+			{Key: "mem=4MB/mccio/write", BandwidthMBps: 200, Bytes: 1 << 20},
+			{Key: "mem=16MB/mccio/read", BandwidthMBps: 300, Bytes: 1 << 20},
+		},
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := syntheticFile()
+	if err := WriteBenchFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadBenchFileRejectsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	bad := syntheticFile()
+	bad.Schema = BenchSchemaVersion + 1
+	if err := WriteBenchFile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil {
+		t.Error("expected schema-mismatch error, got nil")
+	}
+}
+
+// TestCompareBenchDetectsRegression injects a synthetic bandwidth drop
+// and checks that only it is flagged at a 10% threshold.
+func TestCompareBenchDetectsRegression(t *testing.T) {
+	old := syntheticFile()
+	cur := syntheticFile()
+	cur.Experiments[1].BandwidthMBps = 150 // -25%: regression
+	cur.Experiments[2].BandwidthMBps = 285 // -5%: within threshold
+	tbl, deltas, regressed := CompareBench(old, cur, 10)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (deltas %+v)", regressed, deltas)
+	}
+	if !deltas[1].Regressed || deltas[0].Regressed || deltas[2].Regressed {
+		t.Errorf("wrong row flagged: %+v", deltas)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("table rows = %d, want 3", len(tbl.Rows))
+	}
+
+	// The same pair passes at a looser threshold.
+	if _, _, n := CompareBench(old, cur, 30); n != 0 {
+		t.Errorf("regressed at 30%% threshold = %d, want 0", n)
+	}
+}
+
+func TestCompareBenchMissingKeys(t *testing.T) {
+	old := syntheticFile()
+	cur := syntheticFile()
+	cur.Experiments = cur.Experiments[:2]
+	cur.Experiments = append(cur.Experiments, BenchRow{Key: "brand-new", BandwidthMBps: 1})
+	_, deltas, regressed := CompareBench(old, cur, 10)
+	if regressed != 0 {
+		t.Errorf("missing keys must not count as regressions, got %d", regressed)
+	}
+	if len(deltas) != 2 {
+		t.Errorf("deltas = %d, want 2 (dropped key is a note, not a delta)", len(deltas))
+	}
+}
+
+// TestRunRegressionDeterministic runs the CI bench twice at a small
+// scale and requires bit-identical trajectories — the property that
+// lets a checked-in baseline gate CI on any host.
+func TestRunRegressionDeterministic(t *testing.T) {
+	opts := Options{Scale: 0.05, Seed: 42}
+	reg := metrics.New()
+	a, err := RunRegression(opts, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRegression(Options{Scale: 0.05, Seed: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Experiments) != 8 {
+		t.Fatalf("experiments = %d, want 8", len(a.Experiments))
+	}
+	for i := range a.Experiments {
+		if a.Experiments[i].BandwidthMBps <= 0 {
+			t.Errorf("%s: bandwidth %v, want > 0", a.Experiments[i].Key, a.Experiments[i].BandwidthMBps)
+		}
+		if !reflect.DeepEqual(a.Experiments[i], b.Experiments[i]) {
+			t.Errorf("run-to-run mismatch at %s:\n%+v\n%+v",
+				a.Experiments[i].Key, a.Experiments[i], b.Experiments[i])
+		}
+	}
+	if a.Metrics == nil || len(a.Metrics.Families) == 0 {
+		t.Fatal("metrics snapshot missing from trajectory")
+	}
+	if v, ok := a.Metrics.Get("mccio_engine_rounds_total", map[string]string{"op": "write"}); !ok || v <= 0 {
+		t.Errorf("mccio_engine_rounds_total{op=write} = %v, %v; want > 0", v, ok)
+	}
+	if v, ok := a.Metrics.Get("pfs_requests_total", map[string]string{"op": "write"}); !ok || v <= 0 {
+		t.Errorf("pfs_requests_total{op=write} = %v, %v; want > 0", v, ok)
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/metrics"
+)
+
+// RegressionMems are the memory points of the fixed-seed regression
+// bench: one scarce and one comfortable aggregation budget.
+var RegressionMems = []int64{4 * cluster.MiB, 16 * cluster.MiB}
+
+// RunRegression runs the small fixed-seed bench that gates CI: IOR
+// interleaved at 24 processes on 2 nodes x 12 cores, both strategies
+// and both operations at each RegressionMems point — 8 rows in a few
+// seconds. reg, when non-nil, aggregates metrics across all runs and
+// its snapshot is embedded in the returned trajectory.
+//
+// The simulation runs on virtual time with seeded randomness, so for a
+// given (scale, seed) the returned numbers are bit-identical on every
+// host — which is what lets a checked-in BenchFile act as the baseline.
+func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
+	o = o.withDefaults()
+	out := &BenchFile{Schema: BenchSchemaVersion, Scale: o.Scale, Seed: o.Seed}
+	wl := iorWorkload(24, o.Scale)
+	fcfg := testbedFS(o.Seed)
+	for _, mem := range RegressionMems {
+		mcfg := testbedMachine(2, mem, SigmaBytes, o.Seed)
+		mccOpts := mccioOptions(mcfg, fcfg, wl.TotalBytes(), mem)
+		runs := []struct {
+			s  iolib.Collective
+			op string
+		}{
+			{collio.TwoPhase{CBBuffer: mem}, "write"},
+			{core.MCCIO{Opts: mccOpts}, "write"},
+			{collio.TwoPhase{CBBuffer: mem}, "read"},
+			{core.MCCIO{Opts: mccOpts}, "read"},
+		}
+		for _, r := range runs {
+			key := fmt.Sprintf("mem=%s/%s/%s", mb(mem), r.s.Name(), r.op)
+			res, err := RunOnce(Spec{
+				Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg,
+				Workload: wl, Metrics: reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: regression %s: %w", key, err)
+			}
+			out.Experiments = append(out.Experiments, RowFromResult(key, res))
+			o.logf("  regression %s: %s", key, res.String())
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		out.Metrics = &snap
+	}
+	return out, nil
+}

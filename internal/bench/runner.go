@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datatype"
 	"repro/internal/iolib"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/pfs"
@@ -44,6 +45,11 @@ type Spec struct {
 	// runner binds it to the engine's virtual clock and attaches it to
 	// the machine; nil keeps tracing fully disabled.
 	Tracer *obs.Tracer
+	// Metrics, when non-nil, aggregates typed counters/gauges/histograms
+	// for the run. The runner attaches it to the machine before the
+	// file system and MPI world are built (they resolve instrument
+	// handles at construction); nil keeps collection fully disabled.
+	Metrics *metrics.Registry
 }
 
 // RunOnce executes one collective operation and returns the global
@@ -58,6 +64,15 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	if nprocs > machine.NumRanks() {
 		return trace.Result{}, fmt.Errorf("bench: workload needs %d ranks, machine has %d", nprocs, machine.NumRanks())
 	}
+	// Attach observability sinks before the file system and MPI world
+	// are built: both resolve their instrument handles at construction.
+	if spec.Tracer != nil {
+		spec.Tracer.SetClock(engine.Now)
+		machine.SetTracer(spec.Tracer)
+	}
+	if spec.Metrics != nil {
+		machine.SetMetrics(spec.Metrics)
+	}
 	fs, err := pfs.New(spec.FS, machine)
 	if err != nil {
 		return trace.Result{}, err
@@ -65,10 +80,6 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	world, err := mpi.NewWorld(engine, machine, nprocs)
 	if err != nil {
 		return trace.Result{}, err
-	}
-	if spec.Tracer != nil {
-		spec.Tracer.SetClock(engine.Now)
-		machine.SetTracer(spec.Tracer)
 	}
 	file := iolib.Open(fs, "bench.dat")
 
@@ -117,6 +128,9 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	if verifyErr != nil {
 		return trace.Result{}, verifyErr
 	}
+	// Bridge the run's final counter values into the trace so the
+	// timeline and the aggregates land in one artifact.
+	spec.Tracer.FlushMetrics(spec.Metrics)
 	return res, nil
 }
 

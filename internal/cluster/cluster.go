@@ -13,7 +13,9 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/stats"
@@ -85,6 +87,11 @@ type Node struct {
 	highWater int64
 	tracer    *obs.Tracer // ledger counter events; nil disables
 
+	// Metrics handles, resolved once at SetMetrics; nil disables with
+	// zero per-update cost.
+	memUsed *metrics.Gauge
+	memPeak *metrics.Gauge
+
 	MemBus *resource.Link // off-chip memory bandwidth, shared by all cores on the node
 	NICTx  *resource.Link
 	NICRx  *resource.Link
@@ -100,9 +107,12 @@ func (n *Node) Used() int64 { return n.used }
 func (n *Node) HighWater() int64 { return n.highWater }
 
 // sample emits the node's current ledger allocation as a counter
-// event when tracing is attached.
+// event when tracing is attached and updates the ledger gauges when
+// metrics are attached.
 func (n *Node) sample() {
 	n.tracer.Counter(obs.CounterMem, obs.Loc{Rank: -1, Node: n.ID, Group: -1, Round: -1}, n.used)
+	n.memUsed.Set(float64(n.used))
+	n.memPeak.SetMax(float64(n.used))
 }
 
 // Alloc reserves b bytes if available, reporting success.
@@ -153,6 +163,7 @@ type Machine struct {
 	ioNet     *resource.Link
 	ranks     int // total processes (Nodes*CoresPerNode by default placement)
 	tracer    *obs.Tracer
+	metrics   *metrics.Registry
 }
 
 // SetTracer attaches an event tracer: ledger changes on every node
@@ -168,6 +179,31 @@ func (m *Machine) SetTracer(t *obs.Tracer) {
 
 // Tracer returns the attached event tracer (nil when disabled).
 func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// SetMetrics attaches a metrics registry: the memory ledger keeps
+// per-node used/peak gauges current, and the MPI/PFS layers running on
+// this machine pick the registry up for their counters. Instrument
+// handles are resolved here, once, so ledger updates stay a single
+// atomic store. A nil registry disables metrics (the default).
+func (m *Machine) SetMetrics(r *metrics.Registry) {
+	m.metrics = r
+	for _, n := range m.nodes {
+		if r == nil {
+			n.memUsed, n.memPeak = nil, nil
+			continue
+		}
+		id := strconv.Itoa(n.ID)
+		r.Gauge("mccio_node_mem_capacity_bytes",
+			"Sampled aggregation-memory capacity of the node.", "node", id).Set(float64(n.Capacity))
+		n.memUsed = r.Gauge("mccio_node_mem_used_bytes",
+			"Current aggregation-buffer allocation on the node's ledger.", "node", id)
+		n.memPeak = r.Gauge("mccio_node_mem_peak_bytes",
+			"High-water aggregation-buffer allocation on the node's ledger.", "node", id)
+	}
+}
+
+// Metrics returns the attached metrics registry (nil when disabled).
+func (m *Machine) Metrics() *metrics.Registry { return m.metrics }
 
 // New builds a machine from cfg. Node memory capacities are sampled
 // deterministically from cfg.Seed when cfg.MemSigma > 0.

@@ -138,6 +138,7 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 	p := c.Size()
 	me := c.Rank()
 	t := c.Tracer()
+	em := newEngineMetrics(c, "write")
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -197,6 +198,7 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		} else {
 			c.SendVal(cs.leaderOf[me], bundleTag, myBundle, myBundle.wireBytes())
 			m.AddExchange(packedIntra, 0, 0)
+			em.shuffle(packedIntra, 0)
 		}
 		sp.EndBytes(packedIntra, 0)
 
@@ -233,12 +235,14 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		out := c.AlltoallSparse(vals, bytes, present)
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+		em.shuffle(sentIntra, sentInter)
+		em.exchangeSeconds.Add(c.Now() - tExch)
 
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
 			cov := mine.coverage.Clip(w.Off, w.End())
 			if len(cov) > 0 {
-				aggregatorWrite(f, c, plan, mine, cov, out, phantom, m, rloc)
+				aggregatorWrite(f, c, plan, mine, cov, out, phantom, m, em, rloc)
 			}
 			m.AddRound(r + 1)
 		}
@@ -248,7 +252,7 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 // aggregatorWrite assembles received pieces and issues the window's
 // file writes; shared by the flat and combined write paths. rloc is
 // the caller's round-stamped trace location.
-func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov datatype.List, out []any, phantom bool, m *trace.Metrics, rloc obs.Loc) {
+func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov datatype.List, out []any, phantom bool, m *trace.Metrics, em engineMetrics, rloc obs.Loc) {
 	t := c.Tracer()
 	covLo, covHi := cov.Extent()
 	region := buffer.New(covHi-covLo, phantom)
@@ -291,6 +295,7 @@ func aggregatorWrite(f *iolib.File, c *mpi.Comm, plan *Plan, mine *aggState, cov
 	}
 	sp.EndBytes(ioBytes, reqs)
 	m.AddIO(ioBytes, reqs, c.Now()-tIO)
+	em.aggRound(ioBytes, c.Now()-tIO)
 }
 
 // executeReadCombined is ExecuteRead with the two-layer exchange:
@@ -300,6 +305,7 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 	p := c.Size()
 	me := c.Rank()
 	t := c.Tracer()
+	em := newEngineMetrics(c, "read")
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -343,6 +349,7 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
 				sp.EndBytes(cov.TotalBytes(), int64(len(cov)))
 				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				em.aggRound(cov.TotalBytes(), c.Now()-tIO)
 				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
 
@@ -407,6 +414,8 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 		out := c.AlltoallSparse(vals, bytes, present)
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+		em.shuffle(sentIntra, sentInter)
+		em.exchangeSeconds.Add(c.Now() - tExch)
 
 		// Intra-node layer: leaders fan pieces out; every rank knows how
 		// many pieces to expect (one per active domain its view hits).

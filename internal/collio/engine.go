@@ -129,6 +129,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 	}
 	p := c.Size()
 	t := c.Tracer()
+	em := newEngineMetrics(c, "write")
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -193,6 +194,8 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		out := c.AlltoallSparse(vals, bytes, present)
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+		em.shuffle(sentIntra, sentInter)
+		em.exchangeSeconds.Add(c.Now() - tExch)
 
 		// Aggregator: assemble and write this window.
 		if mine != nil && r < len(mine.domain.Windows) {
@@ -246,6 +249,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 				}
 				sp.EndBytes(ioBytes, reqs)
 				m.AddIO(ioBytes, reqs, c.Now()-tIO)
+				em.aggRound(ioBytes, c.Now()-tIO)
 			}
 			m.AddRound(r + 1)
 		}
@@ -265,6 +269,7 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 	}
 	p := c.Size()
 	t := c.Tracer()
+	em := newEngineMetrics(c, "read")
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -310,6 +315,7 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
 				sp.EndBytes(cov.TotalBytes(), int64(len(cov)))
 				m.AddIO(cov.TotalBytes(), int64(len(cov)), c.Now()-tIO)
+				em.aggRound(cov.TotalBytes(), c.Now()-tIO)
 				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
 				for src, segs := range mine.othersReq {
@@ -345,6 +351,8 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		out := c.AlltoallSparse(vals, bytes, present)
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
+		em.shuffle(sentIntra, sentInter)
+		em.exchangeSeconds.Add(c.Now() - tExch)
 
 		sp = t.Begin(obs.PhasePack, rloc)
 		for _, v := range out {

@@ -1,0 +1,54 @@
+package collio
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// engineMetrics bundles the instrument handles the two-phase round
+// loop touches. Handles are resolved once per collective (per rank),
+// so the per-round cost is a handful of atomic updates — and nothing
+// at all when no registry is attached (every handle nil).
+type engineMetrics struct {
+	rounds          *metrics.Counter
+	shuffleIntra    *metrics.Counter
+	shuffleInter    *metrics.Counter
+	exchangeSeconds *metrics.Counter
+	ioSeconds       *metrics.Counter
+	roundIOBytes    *metrics.Histogram
+}
+
+func newEngineMetrics(c *mpi.Comm, op string) engineMetrics {
+	r := c.Metrics()
+	return engineMetrics{
+		rounds: r.Counter("mccio_engine_rounds_total",
+			"Two-phase rounds executed by aggregators.", "op", op),
+		shuffleIntra: r.Counter("mccio_shuffle_bytes_total",
+			"Shuffle payload bytes exchanged between ranks and aggregators.",
+			"op", op, "locality", "intra"),
+		shuffleInter: r.Counter("mccio_shuffle_bytes_total",
+			"Shuffle payload bytes exchanged between ranks and aggregators.",
+			"op", op, "locality", "inter"),
+		exchangeSeconds: r.Counter("mccio_exchange_seconds_total",
+			"Virtual seconds aggregators spent in the shuffle exchange.", "op", op),
+		ioSeconds: r.Counter("mccio_io_seconds_total",
+			"Virtual seconds aggregators spent in file I/O.", "op", op),
+		roundIOBytes: r.Histogram("mccio_round_io_bytes",
+			"File bytes moved per aggregator round.", metrics.DefBytesBuckets(), "op", op),
+	}
+}
+
+// shuffle accounts one rank's packed payload for a round.
+func (em *engineMetrics) shuffle(intra, inter int64) {
+	em.shuffleIntra.Add(float64(intra))
+	em.shuffleInter.Add(float64(inter))
+}
+
+// aggRound accounts an aggregator finishing one round of I/O.
+func (em *engineMetrics) aggRound(ioBytes int64, ioSec float64) {
+	em.rounds.Inc()
+	em.ioSeconds.Add(ioSec)
+	if ioBytes > 0 {
+		em.roundIOBytes.Observe(float64(ioBytes))
+	}
+}

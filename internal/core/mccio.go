@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
@@ -183,6 +184,22 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 			total += b
 		}
 		t.Instant(obs.EventGroupDivision, obs.Loc{Rank: c.WorldRank(0), Node: c.NodeOf(0), Group: -1, Round: -1}, total, int64(len(groups)))
+		// Planner metrics: one rank records the group count and the
+		// memory-availability snapshot the whole plan worked from, so the
+		// exposition reflects exactly what placement saw.
+		reg := c.Metrics()
+		reg.Counter("mccio_plan_groups_total",
+			"Aggregation groups formed by group division.", "op", op).Add(float64(len(groups)))
+		seen := make(map[int]bool)
+		for _, mt := range metas {
+			if seen[mt.Node] {
+				continue
+			}
+			seen[mt.Node] = true
+			reg.Gauge("mccio_plan_node_mem_avail_bytes",
+				"Aggregation-memory headroom per node in the planner's consistent snapshot.",
+				"node", strconv.Itoa(mt.Node)).Set(float64(mt.NodeAvail))
+		}
 	}
 	m.SetGroups(len(groups))
 	sub := c.Split(colors[c.Rank()], 0)
@@ -235,8 +252,14 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 			}
 			tree := BuildTree(coverage, msgind, maxAggs)
 			var pm trace.Metrics
-			placements := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm).Place()
+			pl := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm)
+			placements := pl.Place()
 			remerges = pm.Remerges
+			reg := c.Metrics()
+			reg.Counter("mccio_plan_remerges_total",
+				"Workload-portion remerges performed during placement.", "op", op).Add(float64(remerges))
+			reg.Counter("mccio_plan_placement_retries_total",
+				"Aggregator placements that fell back past the data-owning hosts.", "op", op).Add(float64(pl.retries))
 
 			gloc := obs.Loc{Rank: c.WorldRank(c.Rank()), Node: c.NodeOf(c.Rank()), Group: colors[c.Rank()], Round: -1}
 			t.Instant(obs.EventPartition, gloc, coverage.TotalBytes(), int64(len(placements)))

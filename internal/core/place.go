@@ -38,6 +38,7 @@ type placer struct {
 	opts       Options
 	metrics    *trace.Metrics
 	effSlots   int // expected aggregators per node this group will field
+	retries    int // placements that fell back past the data-owning hosts
 
 	placed map[*TreeNode]*Placement
 }
@@ -87,6 +88,7 @@ func (p *placer) candidates(leaf *TreeNode) []*hostState {
 	if len(out) > 0 {
 		return out
 	}
+	p.retries++
 	// Every data-owning host is saturated (or the leaf covers no
 	// member's data after a remerge cascade): fall back to any host
 	// with capacity so the domain is still served.

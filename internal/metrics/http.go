@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text format on every GET.
+// Works with a nil registry (serves an empty page), so callers can
+// expose the endpoint unconditionally.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Serve binds addr and serves GET /metrics (and /metrics.json for the
+// JSON snapshot) in a background goroutine. It returns the bound
+// listener so callers can report the actual address (addr may use port
+// 0) and close it to stop serving.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	go http.Serve(ln, mux)
+	return ln, nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 )
@@ -53,6 +54,11 @@ func (c *Comm) Now() float64 { return c.p.Now() }
 // tracing is disabled. All obs.Tracer methods are nil-safe, so callers
 // may use the result unconditionally.
 func (c *Comm) Tracer() *obs.Tracer { return c.w.machine.Tracer() }
+
+// Metrics returns the metrics registry attached to the machine, or nil
+// when metrics are disabled. All metrics methods are nil-safe, so
+// callers may use the result unconditionally.
+func (c *Comm) Metrics() *metrics.Registry { return c.w.machine.Metrics() }
 
 // traceLoc is the caller's track identity for MPI-level wait spans.
 func (c *Comm) traceLoc() obs.Loc {
@@ -153,6 +159,7 @@ func (c *Comm) Barrier() {
 		return
 	}
 	sp := c.Tracer().Begin(obs.PhaseMPIBarrier, c.traceLoc())
+	c.w.met.barriers.Inc()
 	c.w.barrierFor(c.ctx, p).Await(c.p)
 	steps := 0
 	for dist := 1; dist < p; dist *= 2 {
@@ -278,6 +285,8 @@ func (c *Comm) Alltoall(vals []any, bytes []int64) []any {
 		out[src] = c.irecv(src, tag)
 	}
 	sp.EndBytes(sent, int64(p))
+	c.w.met.alltoalls.Inc()
+	c.w.met.alltoallBytes.Add(float64(sent))
 	return out
 }
 
@@ -316,6 +325,8 @@ func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
 		}
 	}
 	sp.EndBytes(sent, pairs)
+	c.w.met.alltoalls.Inc()
+	c.w.met.alltoallBytes.Add(float64(sent))
 	return out
 }
 

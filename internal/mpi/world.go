@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/resource"
 	"repro/internal/simtime"
 )
@@ -43,10 +44,32 @@ type World struct {
 	boxes    map[msgKey]*simtime.Chan[message]
 	barriers map[uint64]*simtime.Barrier // per communicator context
 
+	met worldMetrics
+
 	bytesIntra int64
 	bytesInter int64
 	msgsIntra  int64
 	msgsInter  int64
+}
+
+// worldMetrics bundles the collective-layer instrument handles,
+// resolved once at NewWorld. All handles are nil (and updates free)
+// when the machine has no metrics registry attached.
+type worldMetrics struct {
+	barriers      *metrics.Counter
+	alltoalls     *metrics.Counter
+	alltoallBytes *metrics.Counter
+}
+
+func newWorldMetrics(r *metrics.Registry) worldMetrics {
+	return worldMetrics{
+		barriers: r.Counter("mpi_barriers_total",
+			"Barrier collectives entered (one count per calling rank)."),
+		alltoalls: r.Counter("mpi_alltoalls_total",
+			"Alltoall(v) collectives entered (one count per calling rank)."),
+		alltoallBytes: r.Counter("mpi_alltoall_bytes_total",
+			"Payload bytes injected into alltoall exchanges."),
+	}
 }
 
 // NewWorld creates a world of size processes placed block-wise on the
@@ -61,6 +84,7 @@ func NewWorld(e *simtime.Engine, m *cluster.Machine, size int) (*World, error) {
 		size:     size,
 		boxes:    make(map[msgKey]*simtime.Chan[message]),
 		barriers: make(map[uint64]*simtime.Barrier),
+		met:      newWorldMetrics(m.Metrics()),
 	}, nil
 }
 

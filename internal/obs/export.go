@@ -244,6 +244,13 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 		}
 		var je jsonlEvent
 		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			// A writer interrupted mid-line (crash, full disk) leaves a
+			// truncated final record; tolerate it once events have been
+			// parsed. Garbage mid-stream is still an error — the extra
+			// Scan only consumes input on the error path.
+			if !sc.Scan() && sc.Err() == nil && len(events) > 0 {
+				return events, nil
+			}
 			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
 		}
 		e := Event{

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// metricPhasePrefix namespaces trace events that carry registry
+// samples; Category maps it to its own track group.
+const metricPhasePrefix = "metric:"
+
+// FlushMetrics bridges the aggregate metrics registry into the event
+// trace: it emits one counter event per counter/gauge sample (and one
+// per histogram, carrying sum and count) at the current virtual time,
+// phased "metric:<name>{labels}". Bytes holds the value truncated to
+// an integer and Extra the value in micro-units, so fractional
+// counters (virtual-seconds totals) survive the integer payload.
+// Nil-safe on both receiver and registry.
+func (t *Tracer) FlushMetrics(r *metrics.Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		for _, s := range f.Samples {
+			phase := Phase(metricPhasePrefix + f.Name + labelSuffix(s.Labels))
+			extra := int64(s.Value * 1e6)
+			if f.Kind == "histogram" {
+				// For histograms Extra carries the observation count.
+				extra = s.Count
+			}
+			t.record(Event{Kind: KindCounter, Phase: phase, T0: t.now(), T1: t.now(),
+				Loc: NoLoc, Bytes: int64(s.Value), Extra: extra})
+		}
+	}
+}
+
+// labelSuffix renders a sample's labels as a deterministic
+// {k="v",...} suffix, empty for unlabeled samples.
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -44,7 +44,16 @@ type Summary struct {
 	NodeMemPeak map[int]int64
 }
 
-// Summarize folds a trace into its breakdown.
+// maxSummaryRounds bounds the per-round table: Rounds is indexed by
+// the round numbers the trace claims, and a corrupt file claiming a
+// round in the billions must not allocate a slice that large. Real
+// runs stay well under this (rounds grow with data / window size).
+const maxSummaryRounds = 1 << 16
+
+// Summarize folds a trace into its breakdown. It never panics on
+// hostile input: an empty or nil event slice yields a zero Summary,
+// and events with out-of-range round numbers are dropped from the
+// per-round table (they still count toward the phase totals).
 func Summarize(events []Event) *Summary {
 	s := &Summary{
 		Phases:       map[Phase]*PhaseTotal{},
@@ -109,7 +118,7 @@ func Summarize(events []Event) *Summary {
 			s.GroupBytes[e.Loc.Group] += e.Bytes
 			s.GroupSeconds[e.Loc.Group] += e.Dur()
 		}
-		if r := e.Loc.Round; r >= 0 {
+		if r := e.Loc.Round; r >= 0 && r < maxSummaryRounds {
 			rt := round(r)
 			switch e.Phase {
 			case PhaseBarrier:

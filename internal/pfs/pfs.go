@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/simtime"
@@ -90,6 +91,66 @@ type FS struct {
 	reqs         int64
 	bytesRead    int64
 	bytesWritten int64
+
+	met fsMetrics
+}
+
+// fsMetrics bundles the storage-layer instrument handles, resolved
+// once at New (the machine's registry must be attached before the file
+// system is mounted). Per-OST counters are an array so the per-run
+// update is one atomic add with no lookup.
+type fsMetrics struct {
+	reqs       [2]*metrics.Counter // indexed by opRead/opWrite
+	bytes      [2]*metrics.Counter
+	batchBytes [2]*metrics.Histogram // service-batch sizes per op
+	ostRuns    []*metrics.Counter    // per-OST service runs
+	ostBytes   []*metrics.Counter    // per-OST bytes served
+}
+
+const (
+	opRead = iota
+	opWrite
+)
+
+func newFSMetrics(r *metrics.Registry, osts int) fsMetrics {
+	var fm fsMetrics
+	ops := [2]string{"read", "write"}
+	for i, op := range ops {
+		fm.reqs[i] = r.Counter("pfs_requests_total",
+			"Requests served by the parallel file system.", "op", op)
+		fm.bytes[i] = r.Counter("pfs_bytes_total",
+			"Bytes moved to or from the parallel file system.", "op", op)
+		fm.batchBytes[i] = r.Histogram("pfs_batch_bytes",
+			"Size of each request batch serviced.", metrics.DefBytesBuckets(), "op", op)
+	}
+	if r != nil {
+		fm.ostRuns = make([]*metrics.Counter, osts)
+		fm.ostBytes = make([]*metrics.Counter, osts)
+		for i := 0; i < osts; i++ {
+			id := fmt.Sprintf("%d", i)
+			fm.ostRuns[i] = r.Counter("pfs_ost_runs_total",
+				"Contiguous per-OST service runs (one client RPC each).", "ost", id)
+			fm.ostBytes[i] = r.Counter("pfs_ost_bytes_total",
+				"Bytes served per OST.", "ost", id)
+		}
+	}
+	return fm
+}
+
+// stripe accounts one per-OST run; nil-safe when metrics are off.
+func (fm *fsMetrics) stripe(run ostRun) {
+	if fm.ostRuns == nil {
+		return
+	}
+	fm.ostRuns[run.ost].Inc()
+	fm.ostBytes[run.ost].Add(float64(run.bytes))
+}
+
+// batch accounts one request batch of n bytes and reqs per-OST runs.
+func (fm *fsMetrics) batch(op int, n, reqs int64) {
+	fm.reqs[op].Add(float64(reqs))
+	fm.bytes[op].Add(float64(n))
+	fm.batchBytes[op].Observe(float64(n))
 }
 
 type fileData struct {
@@ -102,7 +163,8 @@ func New(cfg Config, m *cluster.Machine) (*FS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	fs := &FS{cfg: cfg, machine: m, files: make(map[string]*fileData), rng: stats.NewRNG(cfg.Seed ^ 0x5f5)}
+	fs := &FS{cfg: cfg, machine: m, files: make(map[string]*fileData), rng: stats.NewRNG(cfg.Seed ^ 0x5f5),
+		met: newFSMetrics(m.Metrics(), cfg.OSTs)}
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, resource.NewLink(fmt.Sprintf("ost%d", i), cfg.OSTBW, cfg.OSTLatency))
 	}
@@ -140,9 +202,11 @@ func (fs *FS) traceLoc(rank int) obs.Loc {
 }
 
 // traceStripe records one per-OST service run as an instant event when
-// tracing is attached (nil-safe otherwise).
+// tracing is attached and as per-OST counters when metrics are
+// attached (nil-safe otherwise).
 func (fs *FS) traceStripe(t *obs.Tracer, loc obs.Loc, run ostRun) {
 	t.Instant(obs.EventStripe, loc, run.bytes, int64(run.ost))
+	fs.met.stripe(run)
 }
 
 // jitter draws one request's interference delay.
@@ -240,6 +304,7 @@ func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) flo
 		f.fs.traceStripe(t, loc, run)
 	}
 	f.fs.bytesWritten += n
+	f.fs.met.batch(opWrite, n, reqs)
 	p.WaitUntil(done)
 	sp.EndBytes(n, reqs)
 	return done
@@ -273,6 +338,7 @@ func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) floa
 		f.fs.traceStripe(t, loc, run)
 	}
 	f.fs.bytesRead += n
+	f.fs.met.batch(opRead, n, reqs)
 	p.WaitUntil(done)
 	sp.EndBytes(n, reqs)
 	return done
@@ -313,6 +379,7 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 		f.fs.bytesWritten += n
 		bytes += n
 	}
+	f.fs.met.batch(opWrite, bytes, reqs)
 	p.WaitUntil(done)
 	sp.EndBytes(bytes, reqs)
 	return done
@@ -351,6 +418,7 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 		f.fs.bytesRead += n
 		bytes += n
 	}
+	f.fs.met.batch(opRead, bytes, reqs)
 	p.WaitUntil(done)
 	sp.EndBytes(bytes, reqs)
 	return done

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentileEmpty documents the degraded behavior: an empty sample
+// yields 0 rather than a panic, so summaries of absent data render as
+// zero rows.
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{}, 95); got != 0 {
+		t.Errorf("Percentile(empty, 95) = %v, want 0", got)
+	}
+	if got := PercentileOf(nil, 50); got != 0 {
+		t.Errorf("PercentileOf(nil, 50) = %v, want 0", got)
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(_, %v) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1, 2}, p)
+		}()
+	}
+}
+
+// TestPercentileOfUnsorted checks the sorting wrapper computes the same
+// answer as Percentile on pre-sorted data and leaves its input alone.
+func TestPercentileOfUnsorted(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	orig := append([]float64(nil), xs...)
+	if got, want := PercentileOf(xs, 50), 5.0; got != want {
+		t.Errorf("PercentileOf(median) = %v, want %v", got, want)
+	}
+	if got, want := PercentileOf(xs, 0), 1.0; got != want {
+		t.Errorf("PercentileOf(p0) = %v, want %v", got, want)
+	}
+	if got, want := PercentileOf(xs, 100), 9.0; got != want {
+		t.Errorf("PercentileOf(p100) = %v, want %v", got, want)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("PercentileOf mutated its input: %v != %v", xs, orig)
+		}
+	}
+}
+
+// TestHistogramClamps checks out-of-range samples land in the edge
+// bins rather than being dropped or panicking.
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram([]float64{-100, -0.01, 0, 5, 9.99, 10, 1e9, math.Inf(1)}, 0, 10, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 8 {
+		t.Fatalf("counted %d of 8 samples", total)
+	}
+	if h.Counts[0] != 3 { // -100, -0.01, 0
+		t.Errorf("low edge bin = %d, want 3 (clamped below-range samples)", h.Counts[0])
+	}
+	if h.Counts[3] != 4 { // 9.99, 10, 1e9, +Inf
+		t.Errorf("high edge bin = %d, want 4 (clamped above-range samples)", h.Counts[3])
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		nbins  int
+	}{
+		{0, 10, 0},  // no bins
+		{0, 10, -1}, // negative bins
+		{10, 10, 4}, // empty range
+		{10, 0, 4},  // inverted range
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(lo=%v, hi=%v, nbins=%d) did not panic", tc.lo, tc.hi, tc.nbins)
+				}
+			}()
+			NewHistogram([]float64{1}, tc.lo, tc.hi, tc.nbins)
+		}()
+	}
+}
+
+// TestSummarizeUsesSafePercentiles guards the Summarize path that
+// feeds bench trajectories: single samples and empty samples must not
+// panic and must produce sane medians.
+func TestSummarizeUsesSafePercentiles(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Median != 7 || s.P95 != 7 {
+		t.Errorf("single sample: median %v p95 %v, want 7 7", s.Median, s.P95)
+	}
+	z := Summarize(nil)
+	if z.N != 0 || z.Median != 0 || z.P95 != 0 {
+		t.Errorf("empty sample: %+v, want zero summary", z)
+	}
+}

@@ -49,11 +49,13 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0–100) of an ascending-sorted
-// sample using linear interpolation between closest ranks. It panics on
-// an empty sample or p outside [0, 100].
+// sample using linear interpolation between closest ranks. An empty
+// sample yields 0 (not a panic) so summaries of absent data degrade to
+// zero rows; p outside [0, 100] panics. The input must already be
+// sorted — use PercentileOf for unsorted data.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: percentile of empty sample")
+		return 0
 	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %g out of range", p))
@@ -69,6 +71,14 @@ func Percentile(sorted []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PercentileOf returns the p-th percentile of an unsorted sample: it
+// sorts a copy, leaving the input untouched. Empty samples yield 0.
+func PercentileOf(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Percentile(sorted, p)
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
@@ -123,12 +133,14 @@ func NewHistogram(xs []float64, lo, hi float64, nbins int) *Histogram {
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
 	w := (hi - lo) / float64(nbins)
 	for _, x := range xs {
-		i := int((x - lo) / w)
-		if i < 0 {
-			i = 0
-		}
-		if i >= nbins {
+		// Clamp in float space: converting an out-of-range float (e.g.
+		// +Inf) to int is undefined and would land +Inf in the LOW bin
+		// on amd64. NaN also falls through to the low edge.
+		i := 0
+		if f := (x - lo) / w; f >= float64(nbins) {
 			i = nbins - 1
+		} else if f > 0 {
+			i = int(f)
 		}
 		h.Counts[i]++
 	}
