@@ -1,0 +1,172 @@
+// Chaos tests: the resilience machinery under deterministic fault
+// injection. Collectives must complete with bit-identical file
+// contents despite aggregator-node failures, memory exhaustion,
+// stragglers, and message drop/delay — and the fault trace itself must
+// be a pure function of (seed, FaultSpec).
+package repro_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/iolib"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/workload"
+)
+
+// chaosFaultSpec exercises every fault class: an aggregator-node
+// failure at round 0 (guaranteed to trigger failover-by-remerge while
+// schedules still have windows), memory pressure, a straggler OST, a
+// degraded link, and message drop/delay.
+func chaosFaultSpec() faults.Spec {
+	return faults.Spec{
+		Seed: 7,
+		MemPressure: []faults.MemPressure{
+			{Node: 2, Round: 1, Bytes: 4 * cluster.MiB},
+		},
+		SlowOSTs:  []faults.SlowOST{{OST: 0, Factor: 3}},
+		SlowLinks: []faults.SlowLink{{Node: 2, Factor: 2}},
+		NodeFailures: []faults.NodeFailure{
+			{Node: 1, Round: 0},
+		},
+		Messages: faults.MessageSpec{DropRate: 0.1, DelayRate: 0.05, DelayMeanSec: 1e-3},
+	}
+}
+
+func chaosStrategies(mcfg cluster.Config, fcfg pfs.Config, total int64) map[string]iolib.Collective {
+	return map[string]iolib.Collective{
+		"two-phase": collio.TwoPhase{CBBuffer: 1 << 20},
+		"mccio":     core.MCCIO{Opts: mccioOpts(mcfg, fcfg, total)},
+	}
+}
+
+// TestChaosCorrectness runs verified write and read collectives under
+// the full fault schedule: every byte must land (write) or arrive
+// (read) bit-identical to the fault-free contents, and the node-1
+// failure must actually exercise the failover path.
+func TestChaosCorrectness(t *testing.T) {
+	mcfg, fcfg := quietPlatform(3, 4)
+	const nprocs = 12
+	wl := workload.IOR{Ranks: nprocs, BlockSize: 64 << 10, Segments: 6}
+	for name, s := range chaosStrategies(mcfg, fcfg, wl.TotalBytes()) {
+		for _, op := range []string{"write", "read"} {
+			t.Run(name+"/"+op, func(t *testing.T) {
+				sched, err := faults.NewSchedule(chaosFaultSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = bench.RunOnce(bench.Spec{
+					Strategy: s, Op: op, Machine: mcfg, FS: fcfg,
+					Workload: wl, Verify: true, Faults: sched,
+				})
+				if err != nil {
+					t.Fatalf("collective did not survive its faults: %v", err)
+				}
+				if sched.Injected() == 0 {
+					t.Error("schedule injected nothing — the test exercised no faults")
+				}
+				if sched.Failovers()+sched.Unrecovered() == 0 {
+					t.Errorf("node-1 failure triggered no failover (injected=%d dropped=%d)",
+						sched.Injected(), sched.Dropped())
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDeterminism runs the same faulty collective twice with
+// fresh schedules and tracers: the fault/failover event streams must
+// be byte-identical and the results equal — the reproducibility
+// guarantee that makes fault injection debuggable.
+func TestChaosDeterminism(t *testing.T) {
+	mcfg, fcfg := quietPlatform(3, 4)
+	const nprocs = 12
+	wl := workload.IOR{Ranks: nprocs, BlockSize: 64 << 10, Segments: 6}
+	for name, s := range chaosStrategies(mcfg, fcfg, wl.TotalBytes()) {
+		t.Run(name, func(t *testing.T) {
+			type runOut struct {
+				events []obs.Event
+				bytes  int64
+				fo     int64
+				inj    int64
+			}
+			once := func() runOut {
+				sched, err := faults.NewSchedule(chaosFaultSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := obs.NewTracer()
+				res, err := bench.RunOnce(bench.Spec{
+					Strategy: s, Op: "write", Machine: mcfg, FS: fcfg,
+					Workload: wl, Verify: true, Tracer: tr, Faults: sched,
+					Metrics: metrics.New(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var evs []obs.Event
+				for _, e := range tr.Events() {
+					switch e.Phase.Category() {
+					case "fault", "failover":
+						evs = append(evs, e)
+					}
+				}
+				return runOut{events: evs, bytes: res.Bytes, fo: sched.Failovers(), inj: sched.Injected()}
+			}
+			a, b := once(), once()
+			if len(a.events) == 0 {
+				t.Fatal("no fault/failover events traced")
+			}
+			if !reflect.DeepEqual(a.events, b.events) {
+				t.Errorf("fault trace not deterministic: %d vs %d events", len(a.events), len(b.events))
+				for i := range a.events {
+					if i < len(b.events) && !reflect.DeepEqual(a.events[i], b.events[i]) {
+						t.Errorf("first divergence at %d: %+v vs %+v", i, a.events[i], b.events[i])
+						break
+					}
+				}
+			}
+			if a.bytes != b.bytes || a.fo != b.fo || a.inj != b.inj {
+				t.Errorf("run tallies diverged: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestChaosFaultFreeIdentical: attaching an all-zero schedule must not
+// move a single byte of the simulation — the armed-but-empty path is
+// behaviorally identical to no schedule at all.
+func TestChaosFaultFreeIdentical(t *testing.T) {
+	mcfg, fcfg := quietPlatform(2, 4)
+	wl := workload.IOR{Ranks: 8, BlockSize: 32 << 10, Segments: 4}
+	s := core.MCCIO{Opts: mccioOpts(mcfg, fcfg, wl.TotalBytes())}
+	run := func(sched *faults.Schedule) (int64, float64) {
+		res, err := bench.RunOnce(bench.Spec{
+			Strategy: s, Op: "write", Machine: mcfg, FS: fcfg,
+			Workload: wl, Faults: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Bytes, res.Elapsed
+	}
+	emptySched, err := faults.NewSchedule(faults.Spec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, e0 := run(nil)
+	b1, e1 := run(emptySched)
+	if b0 != b1 || e0 != e1 {
+		t.Errorf("empty schedule perturbed the run: bytes %d vs %d, elapsed %v vs %v", b0, b1, e0, e1)
+	}
+	if emptySched.Injected() != 0 {
+		t.Errorf("empty schedule injected %d faults", emptySched.Injected())
+	}
+}

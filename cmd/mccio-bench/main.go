@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
@@ -96,6 +96,18 @@ func main() {
 	}
 	if want("phases") {
 		runT("phases", bench.PhaseBreakdown)
+	}
+	if *experiment == "chaos" {
+		// Chaos needs the live registry so its fault/failover counters
+		// land in /metrics alongside the table; it is not part of "all"
+		// because its runs verify every byte and dominate the sweep time.
+		fmt.Fprintf(os.Stderr, "running chaos (scale %.3g)...\n", *scale)
+		t, err := bench.Chaos(opts, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
 	}
 	if *experiment == "regression" {
 		fmt.Fprintf(os.Stderr, "running regression (scale %.3g)...\n", *scale)

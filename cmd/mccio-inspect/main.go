@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cluster"
@@ -22,23 +23,49 @@ import (
 )
 
 func main() {
-	var (
-		wlName   = flag.String("workload", "ior", "ior | collperf | random | checkpoint")
-		procs    = flag.Int("procs", 24, "number of MPI processes")
-		cores    = flag.Int("cores", 4, "cores (ranks) per node")
-		memMB    = flag.Int64("mem", 8, "nominal aggregation memory per node, MB")
-		sigmaMB  = flag.Int64("sigma", 50, "memory variance sigma, MB (0 = uniform)")
-		dim      = flag.Int64("dim", 256, "collperf cube dimension")
-		blockKB  = flag.Int64("block", 1024, "ior block size, KB")
-		segments = flag.Int("segments", 8, "ior segments")
-		seed     = flag.Uint64("seed", 42, "seed for memory sampling")
-		groups   = flag.Int("groups", 0, "target group count (0 = derive from Msggroup)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *procs%*cores != 0 {
-		fmt.Fprintf(os.Stderr, "mccio-inspect: procs %d not divisible by cores %d\n", *procs, *cores)
-		os.Exit(2)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  mccio-inspect [flags]
+
+Prints the static MCCIO plan — aggregation groups, partition tree,
+remerges, aggregator placements — for a workload on a simulated
+platform, without running the collective. Flags:`)
+}
+
+// run executes the inspection and returns the process exit code:
+// 0 success, 1 operational failure, 2 usage error (unknown flags or
+// stray positional arguments).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mccio-inspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr); fs.PrintDefaults() }
+	var (
+		wlName   = fs.String("workload", "ior", "ior | collperf | random | checkpoint")
+		procs    = fs.Int("procs", 24, "number of MPI processes")
+		cores    = fs.Int("cores", 4, "cores (ranks) per node")
+		memMB    = fs.Int64("mem", 8, "nominal aggregation memory per node, MB")
+		sigmaMB  = fs.Int64("sigma", 50, "memory variance sigma, MB (0 = uniform)")
+		dim      = fs.Int64("dim", 256, "collperf cube dimension")
+		blockKB  = fs.Int64("block", 1024, "ior block size, KB")
+		segments = fs.Int("segments", 8, "ior segments")
+		seed     = fs.Uint64("seed", 42, "seed for memory sampling")
+		groups   = fs.Int("groups", 0, "target group count (0 = derive from Msggroup)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mccio-inspect: unexpected argument %q\n\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	if *procs <= 0 || *cores <= 0 || *procs%*cores != 0 {
+		fmt.Fprintf(stderr, "mccio-inspect: procs %d not divisible by cores %d\n", *procs, *cores)
+		return 2
 	}
 	nodes := *procs / *cores
 
@@ -53,8 +80,8 @@ func main() {
 	case "checkpoint":
 		wl = workload.Checkpoint{Ranks: *procs, MeanBytes: 8 << 20, Sigma: 0.7, Seed: *seed, Align: 1 << 20}
 	default:
-		fmt.Fprintf(os.Stderr, "mccio-inspect: unknown workload %q\n", *wlName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mccio-inspect: unknown workload %q\n", *wlName)
+		return 2
 	}
 
 	mcfg := cluster.TestbedConfig(nodes)
@@ -67,8 +94,8 @@ func main() {
 	mcfg.Seed = *seed
 	machine, err := cluster.New(mcfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mccio-inspect: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mccio-inspect: %v\n", err)
+		return 1
 	}
 
 	opts := core.DefaultOptions(mcfg, pfs.DefaultConfig())
@@ -76,14 +103,14 @@ func main() {
 	if *groups > 0 {
 		opts.Msggroup = wl.TotalBytes() / int64(*groups)
 	}
-	fmt.Printf("machine: %d nodes x %d cores; nominal %d MB/node (sigma %d MB)\n",
+	fmt.Fprintf(stdout, "machine: %d nodes x %d cores; nominal %d MB/node (sigma %d MB)\n",
 		nodes, *cores, *memMB, *sigmaMB)
-	fmt.Print("node aggregation memory (MB):")
+	fmt.Fprint(stdout, "node aggregation memory (MB):")
 	for _, c := range machine.MemCapacities() {
-		fmt.Printf(" %.1f", float64(c)/1e6)
+		fmt.Fprintf(stdout, " %.1f", float64(c)/1e6)
 	}
-	fmt.Printf("\nworkload: %s\n", wl.Name())
-	fmt.Printf("options: Msgind=%.1fMB Msggroup=%.1fMB Nah=%d Memmin=%.1fMB\n\n",
+	fmt.Fprintf(stdout, "\nworkload: %s\n", wl.Name())
+	fmt.Fprintf(stdout, "options: Msgind=%.1fMB Msggroup=%.1fMB Nah=%d Memmin=%.1fMB\n\n",
 		float64(opts.Msgind)/1e6, float64(opts.Msggroup)/1e6, opts.Nah, float64(opts.Memmin)/1e6)
 
 	views := make([]datatype.List, *procs)
@@ -92,8 +119,9 @@ func main() {
 	}
 	res, err := (core.MCCIO{Opts: opts}).Inspect(machine, views)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mccio-inspect: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mccio-inspect: %v\n", err)
+		return 1
 	}
-	fmt.Print(res.Summary())
+	fmt.Fprint(stdout, res.Summary())
+	return 0
 }

@@ -131,7 +131,11 @@ func compare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
 		return 1
 	}
-	table, _, regressed := bench.CompareBench(old, cur, *threshold)
+	table, _, regressed, err := bench.CompareBench(old, cur, *threshold)
+	if err != nil {
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return 1
+	}
 	table.WriteText(stdout)
 	if regressed > 0 {
 		fmt.Fprintf(stderr, "mccio-report: %d experiment(s) regressed more than %.1f%%\n", regressed, *threshold)

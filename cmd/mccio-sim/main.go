@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -72,6 +73,7 @@ func main() {
 		tracePath = flag.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON for Perfetto) and print the phase breakdown")
 		serveAddr = flag.String("serve", "", "serve Prometheus metrics on ADDR (e.g. :9090) at /metrics and keep serving after the run until interrupted")
 		metaPath  = flag.String("metrics", "", "write a one-shot JSON metrics dump to FILE after the run")
+		faultPath = flag.String("faults", "", "inject the deterministic fault schedule from this JSON FaultSpec (see examples/chaos.json)")
 	)
 	flag.Parse()
 
@@ -142,14 +144,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
+	var sched *faults.Schedule
+	if *faultPath != "" {
+		fspec, err := faults.LoadSpec(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		if sched, err = faults.NewSchedule(fspec); err != nil {
+			fatal(err)
+		}
+	}
 	res, err := bench.RunOnce(bench.Spec{
 		Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: *verify,
-		Tracer: tracer, Metrics: reg,
+		Tracer: tracer, Metrics: reg, Faults: sched,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	report(res, wl, nodes, *cores, *memStr, *sigmaMB, *verify)
+	if sched != nil {
+		fmt.Printf("faults:          %d injected, %d failovers, %d unrecovered, %d drops\n",
+			sched.Injected(), sched.Failovers(), sched.Unrecovered(), sched.Dropped())
+	}
 	if tracer != nil {
 		if err := writeTrace(*tracePath, tracer); err != nil {
 			fatal(err)

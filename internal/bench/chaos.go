@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/iolib"
+	"repro/internal/metrics"
+)
+
+// ChaosDropRates are the message-drop probabilities the chaos
+// experiment sweeps on top of the fixed fault backdrop.
+var ChaosDropRates = []float64{0.02, 0.05, 0.10, 0.20}
+
+// chaosSpec builds the experiment's fault schedule: every fault class
+// at once — a memory-pressure spike that drains an aggregator node, a
+// straggler OST, a degraded link, an aggregator-node failure mid-run,
+// and message drop/delay at the given rate. The spec is a pure value,
+// so every sweep point perturbs the same backdrop and only the drop
+// rate moves.
+func chaosSpec(seed uint64, mem int64, dropRate float64) faults.Spec {
+	return faults.Spec{
+		Seed: seed,
+		MemPressure: []faults.MemPressure{
+			{Node: 1, Round: 1, Bytes: mem / 2},
+		},
+		SlowOSTs: []faults.SlowOST{
+			{OST: 0, Factor: 3, FromSec: 0}, // whole run
+		},
+		SlowLinks: []faults.SlowLink{
+			{Node: 1, Factor: 2, FromSec: 0},
+		},
+		NodeFailures: []faults.NodeFailure{
+			{Node: 1, Round: 2},
+		},
+		Messages: faults.MessageSpec{
+			DropRate:     dropRate,
+			DelayRate:    dropRate / 2,
+			DelayMeanSec: 0.5e-3,
+		},
+	}
+}
+
+// Chaos sweeps fault intensity against delivered bandwidth: a
+// fault-free baseline, then the full chaos backdrop at each
+// ChaosDropRates point, for both strategies on the write path. Every
+// run verifies its bytes (write + verified read-back), so a row in the
+// table certifies the collective survived its faults without data
+// loss. reg, when non-nil, collects the fault and failover counters
+// across all runs for /metrics exposition.
+func Chaos(o Options, reg *metrics.Registry) (*Table, error) {
+	o = o.withDefaults()
+	mem := 4 * cluster.MiB
+	wl := iorWorkload(24, o.Scale)
+	fcfg := testbedFS(o.Seed)
+	mcfg := testbedMachine(2, mem, SigmaBytes, o.Seed)
+	mccOpts := mccioOptions(mcfg, fcfg, wl.TotalBytes(), mem)
+	strategies := []iolib.Collective{
+		collio.TwoPhase{CBBuffer: mem},
+		core.MCCIO{Opts: mccOpts},
+	}
+
+	tbl := &Table{
+		Title: "Chaos: fault rate vs bandwidth (IOR interleaved, write+verify, 24 procs, 2 nodes)",
+		Headers: []string{"drop rate", "strategy", "MB/s", "vs fault-free",
+			"injected", "failovers", "unrecovered", "drops"},
+		Notes: []string{
+			"Fault backdrop at every nonzero rate: mem-pressure spike (node 1, round 1),",
+			"slow OST 0 (3x), degraded node-1 link (2x), node-1 failure at round 2,",
+			"message delay at half the drop rate. Every run verifies all bytes after",
+			"the collective, so each row implies zero data loss under its faults.",
+		},
+	}
+
+	baseline := make(map[string]float64)
+	rates := append([]float64{0}, ChaosDropRates...)
+	for _, rate := range rates {
+		for _, s := range strategies {
+			var sched *faults.Schedule
+			if rate > 0 {
+				// Fresh schedule per run: exactly-once state (pressure
+				// application, failover rounds) lives inside it.
+				var err error
+				sched, err = faults.NewSchedule(chaosSpec(o.Seed, mem, rate))
+				if err != nil {
+					return nil, fmt.Errorf("bench: chaos spec: %w", err)
+				}
+			}
+			res, err := RunOnce(Spec{
+				Strategy: s, Op: "write", Machine: mcfg, FS: fcfg,
+				Workload: wl, Verify: true, Metrics: reg, Faults: sched,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: chaos rate=%.2f %s: %w", rate, s.Name(), err)
+			}
+			bw := res.BandwidthMBps()
+			if rate == 0 {
+				baseline[s.Name()] = bw
+			}
+			rel := "1.00x"
+			if base := baseline[s.Name()]; base > 0 && rate > 0 {
+				rel = fmt.Sprintf("%.2fx", bw/base)
+			}
+			var inj, fo, unrec, drops int64
+			if sched != nil {
+				inj, fo, unrec, drops = sched.Injected(), sched.Failovers(), sched.Unrecovered(), sched.Dropped()
+			}
+			tbl.AddRow(fmt.Sprintf("%.2f", rate), s.Name(), fmt.Sprintf("%.1f", bw), rel,
+				fmt.Sprintf("%d", inj), fmt.Sprintf("%d", fo),
+				fmt.Sprintf("%d", unrec), fmt.Sprintf("%d", drops))
+			o.logf("  chaos rate=%.2f %s: %s (injected=%d failovers=%d)", rate, s.Name(), res.String(), inj, fo)
+		}
+	}
+	return tbl, nil
+}

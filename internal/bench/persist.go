@@ -98,18 +98,23 @@ func WriteBenchFile(path string, b *BenchFile) error {
 	return f.Close()
 }
 
-// ReadBenchFile reads a trajectory and rejects unknown schemas.
+// ReadBenchFile reads a trajectory and rejects unknown schemas. A
+// missing file and a file written by a newer build get distinct,
+// actionable errors — the two ways a CI baseline goes stale.
 func ReadBenchFile(path string) (*BenchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: trajectory %s: %w (generate one with the regression bench)", path, err)
 	}
 	var b BenchFile
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
+	if b.Schema > BenchSchemaVersion {
+		return nil, fmt.Errorf("bench: %s: written by a newer build (schema %d, this build reads %d); update this tool or regenerate the file", path, b.Schema, BenchSchemaVersion)
+	}
 	if b.Schema != BenchSchemaVersion {
-		return nil, fmt.Errorf("bench: %s: schema %d, this build reads %d", path, b.Schema, BenchSchemaVersion)
+		return nil, fmt.Errorf("bench: %s: schema %d, this build reads %d; regenerate the file", path, b.Schema, BenchSchemaVersion)
 	}
 	return &b, nil
 }
@@ -126,8 +131,18 @@ type Delta struct {
 // returns a printable table, the per-key deltas, and the number of
 // regressions: rows whose bandwidth fell by more than thresholdPct
 // percent. Keys present in only one file are reported as notes, never
-// as regressions.
-func CompareBench(old, new *BenchFile, thresholdPct float64) (*Table, []Delta, int) {
+// as regressions. A nil trajectory or a schema mismatch between the
+// two files is an error, not a silent empty comparison.
+func CompareBench(old, new *BenchFile, thresholdPct float64) (*Table, []Delta, int, error) {
+	if old == nil {
+		return nil, nil, 0, fmt.Errorf("bench: compare: baseline trajectory is missing; generate one with the regression bench")
+	}
+	if new == nil {
+		return nil, nil, 0, fmt.Errorf("bench: compare: current trajectory is missing")
+	}
+	if old.Schema != new.Schema {
+		return nil, nil, 0, fmt.Errorf("bench: compare: schema mismatch (baseline %d, current %d); regenerate the baseline", old.Schema, new.Schema)
+	}
 	t := &Table{
 		Title:   "Bench trajectory comparison",
 		Headers: []string{"experiment", "old MB/s", "new MB/s", "delta", "verdict"},
@@ -163,5 +178,5 @@ func CompareBench(old, new *BenchFile, thresholdPct float64) (*Table, []Delta, i
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("threshold: fail when bandwidth drops more than %.1f%%", thresholdPct))
-	return t, deltas, regressed
+	return t, deltas, regressed, nil
 }

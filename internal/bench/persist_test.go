@@ -3,6 +3,7 @@ package bench
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/metrics"
@@ -53,7 +54,10 @@ func TestCompareBenchDetectsRegression(t *testing.T) {
 	cur := syntheticFile()
 	cur.Experiments[1].BandwidthMBps = 150 // -25%: regression
 	cur.Experiments[2].BandwidthMBps = 285 // -5%: within threshold
-	tbl, deltas, regressed := CompareBench(old, cur, 10)
+	tbl, deltas, regressed, err := CompareBench(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1 (deltas %+v)", regressed, deltas)
 	}
@@ -65,7 +69,7 @@ func TestCompareBenchDetectsRegression(t *testing.T) {
 	}
 
 	// The same pair passes at a looser threshold.
-	if _, _, n := CompareBench(old, cur, 30); n != 0 {
+	if _, _, n, _ := CompareBench(old, cur, 30); n != 0 {
 		t.Errorf("regressed at 30%% threshold = %d, want 0", n)
 	}
 }
@@ -75,7 +79,10 @@ func TestCompareBenchMissingKeys(t *testing.T) {
 	cur := syntheticFile()
 	cur.Experiments = cur.Experiments[:2]
 	cur.Experiments = append(cur.Experiments, BenchRow{Key: "brand-new", BandwidthMBps: 1})
-	_, deltas, regressed := CompareBench(old, cur, 10)
+	_, deltas, regressed, err := CompareBench(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if regressed != 0 {
 		t.Errorf("missing keys must not count as regressions, got %d", regressed)
 	}
@@ -118,5 +125,43 @@ func TestRunRegressionDeterministic(t *testing.T) {
 	}
 	if v, ok := a.Metrics.Get("pfs_requests_total", map[string]string{"op": "write"}); !ok || v <= 0 {
 		t.Errorf("pfs_requests_total{op=write} = %v, %v; want > 0", v, ok)
+	}
+}
+
+// TestCompareBenchErrors pins the error contract: nil trajectories and
+// schema mismatches fail loudly instead of comparing nothing.
+func TestCompareBenchErrors(t *testing.T) {
+	ok := syntheticFile()
+	if _, _, _, err := CompareBench(nil, ok, 10); err == nil {
+		t.Error("nil baseline: want error, got nil")
+	}
+	if _, _, _, err := CompareBench(ok, nil, 10); err == nil {
+		t.Error("nil current: want error, got nil")
+	}
+	newer := syntheticFile()
+	newer.Schema = BenchSchemaVersion + 1
+	if _, _, _, err := CompareBench(ok, newer, 10); err == nil {
+		t.Error("schema mismatch: want error, got nil")
+	}
+}
+
+// TestReadBenchFileErrors distinguishes the two stale-baseline modes:
+// the file is absent, or it was written by a newer build.
+func TestReadBenchFileErrors(t *testing.T) {
+	if _, err := ReadBenchFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: want error, got nil")
+	} else if !strings.Contains(err.Error(), "regression bench") {
+		t.Errorf("missing file error not actionable: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "newer.json")
+	newer := syntheticFile()
+	newer.Schema = BenchSchemaVersion + 3
+	if err := WriteBenchFile(path, newer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil {
+		t.Error("newer schema: want error, got nil")
+	} else if !strings.Contains(err.Error(), "newer build") {
+		t.Errorf("newer-schema error should name the cause: %v", err)
 	}
 }

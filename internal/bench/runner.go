@@ -14,6 +14,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/cluster"
 	"repro/internal/datatype"
+	"repro/internal/faults"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
@@ -50,6 +51,12 @@ type Spec struct {
 	// file system and MPI world are built (they resolve instrument
 	// handles at construction); nil keeps collection fully disabled.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, injects the schedule's deterministic faults
+	// into the run: the runner binds it to the run's observability sinks
+	// and attaches it to the MPI delivery layer and the file system. Use
+	// a fresh Schedule per run — exactly-once state lives inside it. nil
+	// keeps the fault path fully disabled (zero cost).
+	Faults *faults.Schedule
 }
 
 // RunOnce executes one collective operation and returns the global
@@ -80,6 +87,11 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	world, err := mpi.NewWorld(engine, machine, nprocs)
 	if err != nil {
 		return trace.Result{}, err
+	}
+	if spec.Faults != nil {
+		spec.Faults.Bind(spec.Metrics, spec.Tracer)
+		world.SetFaults(spec.Faults)
+		fs.SetFaults(spec.Faults)
 	}
 	file := iolib.Open(fs, "bench.dat")
 

@@ -145,6 +145,15 @@ func (n *Node) MustAlloc(b int64) {
 	n.sample()
 }
 
+// InjectPressure charges b bytes of fault-injected memory pressure to
+// the node's ledger, as if a co-resident application claimed them. Like
+// MustAlloc it may overcommit; the squat lasts for the rest of the run
+// (fault pressure does not recede), so it shows up in the high-water
+// reports and ledger gauges like any other allocation.
+func (n *Node) InjectPressure(b int64) {
+	n.MustAlloc(b)
+}
+
 // Free releases b bytes. Freeing more than allocated indicates a
 // strategy bug and panics.
 func (n *Node) Free(b int64) {

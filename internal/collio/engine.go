@@ -130,6 +130,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 	p := c.Size()
 	t := c.Tracer()
 	em := newEngineMetrics(c, "write")
+	sched := c.Faults()
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -158,6 +159,13 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if sched != nil && injectRoundFaults(c, sched, plan, r, m, rloc) {
+			// Failover changed the plan: redo the request exchange so
+			// coverage and routing reflect the remerged domains, then
+			// resume this round. Collective — every rank takes this
+			// branch for the same rounds (the decision is pure).
+			mine = exchangeRequests(c, vi, plan)
+		}
 		clearScratch(vals, bytes, present)
 
 		// Sender side: pack my pieces for every domain active this round.
@@ -196,6 +204,9 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
 		em.exchangeSeconds.Add(c.Now() - tExch)
+		if sched != nil {
+			dropPenalty(c, sched, plan, r, rloc)
+		}
 
 		// Aggregator: assemble and write this window.
 		if mine != nil && r < len(mine.domain.Windows) {
@@ -270,6 +281,7 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 	p := c.Size()
 	t := c.Tracer()
 	em := newEngineMetrics(c, "read")
+	sched := c.Faults()
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -291,6 +303,10 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if sched != nil && injectRoundFaults(c, sched, plan, r, m, rloc) {
+			// See ExecuteWrite: redo the request exchange post-failover.
+			mine = exchangeRequests(c, vi, plan)
+		}
 		clearScratch(vals, bytes, present)
 
 		// Aggregator: read my window's coverage and carve per-rank pieces.
@@ -353,6 +369,9 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
 		em.exchangeSeconds.Add(c.Now() - tExch)
+		if sched != nil {
+			dropPenalty(c, sched, plan, r, rloc)
+		}
 
 		sp = t.Begin(obs.PhasePack, rloc)
 		for _, v := range out {

@@ -42,6 +42,18 @@ type Domain struct {
 	Lo, Hi   int64              // file extent of the domain (half-open)
 	BufBytes int64              // aggregation buffer charged to the ledger
 	Windows  []datatype.Segment // per-round file windows, in order
+
+	// Sibling is the index (into Plan.Domains) of the domain that
+	// absorbs this one under runtime failover — the partition tree's
+	// adjacent leaf for MCCIO plans, the paired neighbour for the
+	// baseline. -1 (or an invalid index) falls back to the nearest
+	// surviving domain. See failover.go.
+	Sibling int
+	// NodeAvail is the aggregator node's available memory in the
+	// planner's consistent snapshot; with Plan.MemMin it drives the
+	// memory-exhaustion failover predicate. 0 disables that predicate
+	// for the domain.
+	NodeAvail int64
 }
 
 // Rounds returns the number of rounds this domain needs.
@@ -74,6 +86,20 @@ type Plan struct {
 	// RMW in one group would resurrect stale bytes over another
 	// group's fresh writes. Group-based strategies must set this.
 	ExactWrite bool
+
+	// MemMin, when positive, arms the memory-exhaustion failover
+	// predicate: a domain whose node's snapshot availability minus the
+	// injected fault pressure falls below MemMin loses its aggregator
+	// mid-run (the planner's Mem_min constraint enforced dynamically).
+	MemMin int64
+
+	// Failover guard state (see maybeFailover): rounds checked so far
+	// and the last check's events. On plans shared by pointer across a
+	// group the first rank to reach a round runs the check and mutates;
+	// the rest read foLast. The per-round barrier guarantees every rank
+	// finished round r's check before any rank reaches round r+1's.
+	foRound int
+	foLast  []FoEvent
 }
 
 // Validate checks the invariants the engine relies on: one domain per

@@ -110,6 +110,15 @@ func (tp TwoPhase) BuildPlan(c *mpi.Comm, view datatype.List) *Plan {
 		})
 	}
 	plan.Rounds = plan.maxRounds()
+	// Pair consecutive domains for runtime failover: even absorbs odd and
+	// vice versa; a trailing unpaired domain leans on its left neighbour.
+	for i := range plan.Domains {
+		s := i ^ 1
+		if s >= len(plan.Domains) {
+			s = i - 1
+		}
+		plan.Domains[i].Sibling = s
+	}
 	return plan
 }
 

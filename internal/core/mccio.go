@@ -227,7 +227,7 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 		// Exact writes: groups aggregate disjoint data that interleaves
 		// in the file, so an extent RMW in one group could overwrite
 		// another group's concurrent writes with stale bytes.
-		plan = &collio.Plan{Exts: make([]collio.Ext, sub.Size()), ExactWrite: true, NodeCombine: mc.Opts.NodeCombine}
+		plan = &collio.Plan{Exts: make([]collio.Ext, sub.Size()), ExactWrite: true, NodeCombine: mc.Opts.NodeCombine, MemMin: mc.Opts.Memmin}
 		for i, segs := range memberSegs {
 			l, h := segs.Extent()
 			plan.Exts[i] = collio.Ext{Lo: l, Hi: h}
@@ -270,12 +270,17 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 				t.Instant(obs.EventPlace, gloc, pl.Buf, int64(pl.Agg))
 			}
 
-			for _, pl := range placements {
+			for i, pl := range placements {
 				domCov := coverage.Clip(pl.Leaf.Lo, pl.Leaf.Hi)
 				plan.Domains = append(plan.Domains, collio.Domain{
 					Agg: pl.Agg, Lo: pl.Leaf.Lo, Hi: pl.Leaf.Hi,
 					BufBytes: pl.Buf,
 					Windows:  collio.CoverageWindows(domCov, pl.Buf),
+					// Failover identity: the partition tree's adjacent leaf
+					// absorbs this domain if its aggregator is lost mid-run
+					// (placements are in Leaves() order).
+					Sibling:   tree.SiblingLeafIndex(i),
+					NodeAvail: nodeAvail[nodeOfRank[pl.Agg]],
 				})
 			}
 			plan.Rounds = maxRoundsOf(plan)

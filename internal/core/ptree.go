@@ -152,6 +152,27 @@ func (t *Tree) Leaves() []*TreeNode {
 	return out
 }
 
+// SiblingLeafIndex returns the index, in Leaves() order, of the leaf
+// that would absorb leaf i under workload-portion remerging: the
+// nearest leaf inside i's sibling subtree — the same leaf RemoveLeaf
+// would hand the region to (Fig 5a/5b). Because Leaves() walks
+// in-order, that is simply the adjacent leaf on the sibling's side.
+// Returns -1 for a single-leaf tree or an out-of-range index.
+func (t *Tree) SiblingLeafIndex(i int) int {
+	leaves := t.Leaves()
+	if i < 0 || i >= len(leaves) {
+		return -1
+	}
+	p := leaves[i].parent
+	if p == nil {
+		return -1
+	}
+	if p.left == leaves[i] {
+		return i + 1 // first leaf of the right sibling subtree
+	}
+	return i - 1 // last leaf of the left sibling subtree
+}
+
 // RemoveLeaf removes leaf a from the tree — the Workload Portion
 // Remerging operation. It returns the leaf that took over a's region:
 //

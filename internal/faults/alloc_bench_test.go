@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The disabled-path contract: a run with no fault schedule must pay
+// nothing. Every nil-receiver query the engine's hot path can issue is
+// asserted allocation-free, and benchmarked so regressions show in the
+// bench logs too.
+
+func TestNilScheduleZeroAllocs(t *testing.T) {
+	var s *Schedule
+	if n := testing.AllocsPerRun(100, func() {
+		s.NodeFailedBy(1, 2)
+		s.PressureBy(1, 2)
+		s.ApplyPressure(2, nil)
+		s.OSTFactor(3, 0.5)
+		s.LinkFactor(1, 0.5)
+		s.MessageDelay(0, 1, 0.5)
+		s.ExchangeDrops(0, 1, 2)
+		s.RetryPenalty(3)
+		s.RecordDrops(obs.NoLoc, 0, 0)
+		s.Injected()
+	}); n != 0 {
+		t.Fatalf("nil Schedule allocated %v times per op, want 0", n)
+	}
+}
+
+func BenchmarkNilScheduleQueries(b *testing.B) {
+	var s *Schedule
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.NodeFailedBy(1, 2)
+		s.OSTFactor(3, 0.5)
+		s.LinkFactor(1, 0.5)
+		s.MessageDelay(0, 1, 0.5)
+		s.ExchangeDrops(0, 1, 2)
+	}
+}

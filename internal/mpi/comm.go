@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -59,6 +60,11 @@ func (c *Comm) Tracer() *obs.Tracer { return c.w.machine.Tracer() }
 // when metrics are disabled. All metrics methods are nil-safe, so
 // callers may use the result unconditionally.
 func (c *Comm) Metrics() *metrics.Registry { return c.w.machine.Metrics() }
+
+// Faults returns the fault schedule attached to the world, or nil when
+// fault injection is off. All Schedule methods are nil-safe, so callers
+// may use the result unconditionally.
+func (c *Comm) Faults() *faults.Schedule { return c.w.faults }
 
 // traceLoc is the caller's track identity for MPI-level wait spans.
 func (c *Comm) traceLoc() obs.Loc {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/resource"
 	"repro/internal/simtime"
@@ -45,6 +46,13 @@ type World struct {
 	barriers map[uint64]*simtime.Barrier // per communicator context
 
 	met worldMetrics
+
+	// faults, when non-nil, perturbs inter-node delivery (link
+	// slowdowns, message delay); lastArrival keeps each mailbox FIFO
+	// under time-varying fault delays. Both are touched only from
+	// simulation context, which the engine serializes.
+	faults      *faults.Schedule
+	lastArrival map[msgKey]float64
 
 	bytesIntra int64
 	bytesInter int64
@@ -87,6 +95,19 @@ func NewWorld(e *simtime.Engine, m *cluster.Machine, size int) (*World, error) {
 		met:      newWorldMetrics(m.Metrics()),
 	}, nil
 }
+
+// SetFaults attaches a fault schedule to the world's delivery layer;
+// nil detaches. Attach before Start so every message sees it.
+func (w *World) SetFaults(s *faults.Schedule) {
+	w.faults = s
+	if s != nil && w.lastArrival == nil {
+		w.lastArrival = make(map[msgKey]float64)
+	}
+}
+
+// Faults returns the attached fault schedule, or nil. All Schedule
+// methods are nil-safe, so callers may use the result unconditionally.
+func (w *World) Faults() *faults.Schedule { return w.faults }
 
 // Size returns the number of processes.
 func (w *World) Size() int { return w.size }
@@ -173,6 +194,25 @@ func (w *World) deliver(p *simtime.Proc, src, dst int, ctx uint64, tag int, msg 
 	rxPath := resource.NewPath(w.machine.Bisection(), dstNode.NICRx, dstNode.MemBus)
 	txDone := txPath.Reserve(p.Now(), msg.bytes)
 	arrival := rxPath.Reserve(txDone, msg.bytes)
+	if w.faults != nil {
+		// A degraded link stretches the remote (fabric + receiver) part
+		// of the delivery; either endpoint's link fault applies.
+		f := w.faults.LinkFactor(sn, p.Now())
+		if g := w.faults.LinkFactor(dn, p.Now()); g > f {
+			f = g
+		}
+		if f > 1 {
+			arrival = txDone + (arrival-txDone)*f
+		}
+		arrival += w.faults.MessageDelay(sn, dn, p.Now())
+		// Variable fault delays must not reorder a (src,dst,tag) stream:
+		// the mailbox is a FIFO and receivers match payloads by arrival
+		// order, so clamp each arrival to its predecessor's.
+		if last := w.lastArrival[k]; arrival < last {
+			arrival = last
+		}
+		w.lastArrival[k] = arrival
+	}
 	w.engine.After(arrival-p.Now(), func() { b.Put(msg) })
 	p.WaitUntil(txDone)
 }

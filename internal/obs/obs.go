@@ -74,6 +74,19 @@ const (
 	EventStripe        Phase = "stripe"         // Bytes = run bytes, Extra = OST index
 )
 
+// Fault-injection and resilience instants (internal/faults). The
+// "fault:" events mark injections; the "failover:" events mark the
+// engine's dynamic remerge response.
+const (
+	EventFaultMem     Phase = "fault:mem"            // Bytes = squatted bytes, Extra = round applied
+	EventFaultNode    Phase = "fault:node"           // Loc.Node = failed node, Extra = failure round
+	EventFaultDrop    Phase = "fault:drop"           // Bytes = drops this round, Extra = penalty ns
+	EventFaultDelay   Phase = "fault:delay"          // Bytes = delay ns, Extra = destination node
+	EventFaultSlow    Phase = "fault:slow"           // Bytes = factor x1000, Extra = OST (-1 for links)
+	EventFailover     Phase = "failover:remerge"     // Bytes = window bytes moved, Extra = failed domain
+	EventFailoverLost Phase = "failover:unrecovered" // Extra = failed domain
+)
+
 // CounterMem is the per-node memory-ledger counter; Bytes carries the
 // node's allocation after the Alloc/Free that emitted it.
 const CounterMem Phase = "mem"
@@ -89,6 +102,10 @@ func (p Phase) Category() string {
 		return "pfs"
 	case EventGroupDivision, EventPartition, EventRemerge, EventPlace, EventStripe:
 		return "planner"
+	case EventFaultMem, EventFaultNode, EventFaultDrop, EventFaultDelay, EventFaultSlow:
+		return "fault"
+	case EventFailover, EventFailoverLost:
+		return "failover"
 	case CounterMem:
 		return "mem"
 	}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resource"
@@ -87,6 +88,7 @@ type FS struct {
 	osts    []*resource.Link
 	files   map[string]*fileData
 	rng     *stats.RNG
+	faults  *faults.Schedule // nil = no straggler-OST faults
 
 	reqs         int64
 	bytesRead    int64
@@ -209,6 +211,22 @@ func (fs *FS) traceStripe(t *obs.Tracer, loc obs.Loc, run ostRun) {
 	fs.met.stripe(run)
 }
 
+// SetFaults attaches a fault schedule; straggler-OST entries stretch
+// matching requests' service time. Nil detaches.
+func (fs *FS) SetFaults(s *faults.Schedule) { fs.faults = s }
+
+// slowEnd stretches one request's service interval [now, end) when a
+// straggler fault is active on its OST.
+func (fs *FS) slowEnd(now, end float64, ost int) float64 {
+	if fs.faults == nil {
+		return end
+	}
+	if f := fs.faults.OSTFactor(ost, now); f > 1 {
+		return now + (end-now)*f
+	}
+	return end
+}
+
 // jitter draws one request's interference delay.
 func (fs *FS) jitter() float64 {
 	if fs.cfg.JitterMean <= 0 {
@@ -295,7 +313,7 @@ func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) flo
 	done := p.Now()
 	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
-		end := base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+		end := f.fs.slowEnd(p.Now(), base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
@@ -329,7 +347,7 @@ func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) floa
 	done := p.Now()
 	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
-		end := resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+		end := f.fs.slowEnd(p.Now(), resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
@@ -368,7 +386,7 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 		}
 		f.storeBytes(off, bufs[i])
 		for _, run := range f.fs.splitByOST(off, n) {
-			end := base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+			end := f.fs.slowEnd(p.Now(), base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
 			if end > done {
 				done = end
 			}
@@ -407,7 +425,7 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 		}
 		f.loadBytes(off, bufs[i])
 		for _, run := range f.fs.splitByOST(off, n) {
-			end := resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes) + f.fs.jitter()
+			end := f.fs.slowEnd(p.Now(), resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
 			if end > done {
 				done = end
 			}
