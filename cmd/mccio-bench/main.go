@@ -21,9 +21,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
+		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
 		jsonPath   = flag.String("json", "", "write the regression trajectory (schema-versioned bench JSON) to this file; implies -experiment regression unless one is named")
@@ -31,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -116,7 +117,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mccio-bench: regression: %v\n", err)
 			os.Exit(1)
 		}
-		tables = append(tables, trajectoryTable(traj))
+		tables = append(tables, trajectoryTable("Regression", traj))
+		if *jsonPath != "" {
+			traj.Created = time.Now().UTC().Format(time.RFC3339)
+			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	}
+	if *experiment == "sweep" {
+		// The sharded grid: 48 seed-varied rows fanned across -parallel
+		// workers, with per-row seeds derived from (seed, row index) so
+		// the trajectory is byte-identical at any worker count.
+		fmt.Fprintf(os.Stderr, "running sweep (scale %.3g, parallel %d)...\n", *scale, *parallel)
+		traj, err := bench.RunSweep(opts, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, trajectoryTable("Sharded sweep", traj))
 		if *jsonPath != "" {
 			traj.Created = time.Now().UTC().Format(time.RFC3339)
 			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
@@ -154,9 +175,9 @@ func main() {
 }
 
 // trajectoryTable renders a bench trajectory for stdout.
-func trajectoryTable(b *bench.BenchFile) *bench.Table {
+func trajectoryTable(name string, b *bench.BenchFile) *bench.Table {
 	t := &bench.Table{
-		Title:   fmt.Sprintf("Regression bench (scale %.3g, seed %d)", b.Scale, b.Seed),
+		Title:   fmt.Sprintf("%s bench (scale %.3g, seed %d)", name, b.Scale, b.Seed),
 		Headers: []string{"experiment", "MB/s", "rounds", "aggs", "io MB", "shuffle MB"},
 	}
 	for _, r := range b.Experiments {

@@ -7,7 +7,6 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
-	"repro/internal/trace"
 )
 
 // Ablation isolates each MCCIO mechanism on the Figure-7 workload at a
@@ -55,20 +54,21 @@ func Ablation(o Options) (*Table, error) {
 		Title:   "Ablation: MCCIO mechanisms on IOR 120 procs, 8MB nominal buffer",
 		Headers: []string{"variant", "write MB/s", "read MB/s", "rounds(w)", "aggs(w)", "groups(w)", "inter-shuffle MB(w)"},
 	}
+	var rows []specRow
 	for _, e := range entries {
-		var wres, rres trace.Result
 		for _, op := range []string{"write", "read"} {
-			res, err := RunOnce(Spec{Strategy: e.s, Op: op, Machine: e.mcfg, FS: fcfg, Workload: wl})
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s %s: %w", e.name, op, err)
-			}
-			if op == "write" {
-				wres = res
-			} else {
-				rres = res
-			}
-			o.logf("  ablation %s: %s", e.name, res.String())
+			rows = append(rows, specRow{
+				key:  fmt.Sprintf("ablation %s %s", e.name, op),
+				spec: Spec{Strategy: e.s, Op: op, Machine: e.mcfg, FS: fcfg, Workload: wl},
+			})
 		}
+	}
+	results, err := runSpecs(o, "ablation", rows)
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range entries {
+		wres, rres := results[ei*2], results[ei*2+1]
 		t.AddRow(e.name,
 			fmt.Sprintf("%.1f", wres.BandwidthMBps()),
 			fmt.Sprintf("%.1f", rres.BandwidthMBps()),
@@ -101,18 +101,27 @@ func MemoryPressure(o Options) (*Table, error) {
 		Title:   "Aggregator memory consumption under variance (IOR 120 procs, 8MB nominal)",
 		Headers: []string{"strategy", "aggs", "mean buf MB", "cv", "max buf MB", "remerges"},
 	}
-	for _, e := range []struct {
+	entries := []struct {
 		name string
 		s    iolib.Collective
 		cfg  cluster.Config
 	}{
 		{"two-phase", collio.TwoPhase{CBBuffer: mem}, baseCfg},
 		{"mccio", core.MCCIO{Opts: mccioOptions(mccCfg, fcfg, wl.TotalBytes(), mem)}, mccCfg},
-	} {
-		res, err := RunOnce(Spec{Strategy: e.s, Op: "write", Machine: e.cfg, FS: fcfg, Workload: wl})
-		if err != nil {
-			return nil, err
-		}
+	}
+	var rows []specRow
+	for _, e := range entries {
+		rows = append(rows, specRow{
+			key:  "memory " + e.name,
+			spec: Spec{Strategy: e.s, Op: "write", Machine: e.cfg, FS: fcfg, Workload: wl},
+		})
+	}
+	results, err := runSpecs(o, "memory", rows)
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range entries {
+		res := results[ei]
 		s := res.AggBufferStats()
 		cv := 0.0
 		if s.Mean > 0 {
@@ -125,7 +134,6 @@ func MemoryPressure(o Options) (*Table, error) {
 			fmt.Sprintf("%.2f", s.Max/1e6),
 			fmt.Sprintf("%d", res.Remerges),
 		)
-		o.logf("  memory %s: %s", e.name, res.String())
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -9,6 +10,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // ChaosDropRates are the message-drop probabilities the chaos
@@ -49,8 +52,9 @@ func chaosSpec(seed uint64, mem int64, dropRate float64) faults.Spec {
 // ChaosDropRates point, for both strategies on the write path. Every
 // run verifies its bytes (write + verified read-back), so a row in the
 // table certifies the collective survived its faults without data
-// loss. reg, when non-nil, collects the fault and failover counters
-// across all runs for /metrics exposition.
+// loss. Rows fan out across o.Parallel workers, each with its own
+// fault schedule and metrics registry; reg, when non-nil, absorbs the
+// merged fault and failover counters for /metrics exposition.
 func Chaos(o Options, reg *metrics.Registry) (*Table, error) {
 	o = o.withDefaults()
 	mem := 4 * cluster.MiB
@@ -75,44 +79,89 @@ func Chaos(o Options, reg *metrics.Registry) (*Table, error) {
 		},
 	}
 
-	baseline := make(map[string]float64)
+	// One grid row per (rate, strategy). Each row builds its own fault
+	// schedule inside the worker (exactly-once state lives in the
+	// schedule) and gets its own metrics registry, so concurrent rows
+	// share nothing; the fault-free baseline relation is computed after
+	// the sweep from the slot-per-row results.
 	rates := append([]float64{0}, ChaosDropRates...)
+	type chaosRow struct {
+		rate float64
+		s    iolib.Collective
+		reg  *metrics.Registry
+	}
+	type chaosOut struct {
+		res                   trace.Result
+		inj, fo, unrec, drops int64
+	}
+	var grid []chaosRow
 	for _, rate := range rates {
 		for _, s := range strategies {
-			var sched *faults.Schedule
-			if rate > 0 {
-				// Fresh schedule per run: exactly-once state (pressure
-				// application, failover rounds) lives inside it.
-				var err error
-				sched, err = faults.NewSchedule(chaosSpec(o.Seed, mem, rate))
-				if err != nil {
-					return nil, fmt.Errorf("bench: chaos spec: %w", err)
-				}
+			row := chaosRow{rate: rate, s: s}
+			if reg != nil {
+				row.reg = metrics.New()
 			}
-			res, err := RunOnce(Spec{
-				Strategy: s, Op: "write", Machine: mcfg, FS: fcfg,
-				Workload: wl, Verify: true, Metrics: reg, Faults: sched,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: chaos rate=%.2f %s: %w", rate, s.Name(), err)
-			}
-			bw := res.BandwidthMBps()
-			if rate == 0 {
-				baseline[s.Name()] = bw
-			}
-			rel := "1.00x"
-			if base := baseline[s.Name()]; base > 0 && rate > 0 {
-				rel = fmt.Sprintf("%.2fx", bw/base)
-			}
-			var inj, fo, unrec, drops int64
-			if sched != nil {
-				inj, fo, unrec, drops = sched.Injected(), sched.Failovers(), sched.Unrecovered(), sched.Dropped()
-			}
-			tbl.AddRow(fmt.Sprintf("%.2f", rate), s.Name(), fmt.Sprintf("%.1f", bw), rel,
-				fmt.Sprintf("%d", inj), fmt.Sprintf("%d", fo),
-				fmt.Sprintf("%d", unrec), fmt.Sprintf("%d", drops))
-			o.logf("  chaos rate=%.2f %s: %s (injected=%d failovers=%d)", rate, s.Name(), res.String(), inj, fo)
+			grid = append(grid, row)
 		}
+	}
+	runner := sweep.Sweep[chaosOut]{
+		Workers:  o.Parallel,
+		Progress: o.Progress,
+		Label:    "chaos",
+		Describe: func(i int, out chaosOut) string {
+			return fmt.Sprintf("rate=%.2f %s: %s (injected=%d failovers=%d)",
+				grid[i].rate, grid[i].s.Name(), out.res.String(), out.inj, out.fo)
+		},
+	}
+	outs, err := runner.Run(context.Background(), len(grid), func(_ context.Context, i int) (chaosOut, error) {
+		row := grid[i]
+		var sched *faults.Schedule
+		if row.rate > 0 {
+			var err error
+			sched, err = faults.NewSchedule(chaosSpec(o.Seed, mem, row.rate))
+			if err != nil {
+				return chaosOut{}, fmt.Errorf("chaos spec: %w", err)
+			}
+		}
+		res, err := RunOnce(Spec{
+			Strategy: row.s, Op: "write", Machine: mcfg, FS: fcfg,
+			Workload: wl, Verify: true, Metrics: row.reg, Faults: sched,
+		})
+		if err != nil {
+			return chaosOut{}, fmt.Errorf("chaos rate=%.2f %s: %w", row.rate, row.s.Name(), err)
+		}
+		out := chaosOut{res: res}
+		if sched != nil {
+			out.inj, out.fo, out.unrec, out.drops = sched.Injected(), sched.Failovers(), sched.Unrecovered(), sched.Dropped()
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if reg != nil {
+		snaps := make([]metrics.Snapshot, 0, len(grid))
+		for _, row := range grid {
+			snaps = append(snaps, row.reg.Snapshot())
+		}
+		reg.Absorb(metrics.MergeSnapshots(snaps...))
+	}
+	baseline := make(map[string]float64)
+	for i, row := range grid {
+		if row.rate == 0 {
+			baseline[row.s.Name()] = outs[i].res.BandwidthMBps()
+		}
+	}
+	for i, row := range grid {
+		out := outs[i]
+		bw := out.res.BandwidthMBps()
+		rel := "1.00x"
+		if base := baseline[row.s.Name()]; base > 0 && row.rate > 0 {
+			rel = fmt.Sprintf("%.2fx", bw/base)
+		}
+		tbl.AddRow(fmt.Sprintf("%.2f", row.rate), row.s.Name(), fmt.Sprintf("%.1f", bw), rel,
+			fmt.Sprintf("%d", out.inj), fmt.Sprintf("%d", out.fo),
+			fmt.Sprintf("%d", out.unrec), fmt.Sprintf("%d", out.drops))
 	}
 	return tbl, nil
 }

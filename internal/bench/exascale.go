@@ -7,7 +7,7 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Exascale is the extrapolation experiment the paper's title implies
@@ -27,34 +27,39 @@ func Exascale(o Options) (*Table, error) {
 			"two-phase rd MB/s", "mccio rd MB/s", "rd gain"},
 	}
 	nodeCounts := []int{10, 20, 40, 90}
-	for _, nodes := range nodeCounts {
+	var rows []specRow
+	workloads := make([]workload.Workload, len(nodeCounts))
+	for ni, nodes := range nodeCounts {
 		ranks := nodes * 12
 		wl := iorWorkload(ranks, o.Scale*0.5) // half Fig-7 volume per rank for tractable sweeps
+		workloads[ni] = wl
 		mccCfg := testbedMachine(nodes, mem, SigmaBytes, o.Seed)
 		mccOpts := mccioOptions(mccCfg, fcfg, wl.TotalBytes(), mem)
-		var bw, bm, rw, rm trace.Result
-		runs := []struct {
-			res *trace.Result
-			s   iolib.Collective
-			op  string
+		for _, r := range []struct {
+			s  iolib.Collective
+			op string
 		}{
-			{&bw, collio.TwoPhase{CBBuffer: mem}, "write"},
-			{&bm, core.MCCIO{Opts: mccOpts}, "write"},
-			{&rw, collio.TwoPhase{CBBuffer: mem}, "read"},
-			{&rm, core.MCCIO{Opts: mccOpts}, "read"},
+			{collio.TwoPhase{CBBuffer: mem}, "write"},
+			{core.MCCIO{Opts: mccOpts}, "write"},
+			{collio.TwoPhase{CBBuffer: mem}, "read"},
+			{core.MCCIO{Opts: mccOpts}, "read"},
+		} {
+			rows = append(rows, specRow{
+				key:  fmt.Sprintf("nodes=%d %s %s", nodes, r.s.Name(), r.op),
+				spec: Spec{Strategy: r.s, Op: r.op, Machine: mccCfg, FS: fcfg, Workload: wl},
+			})
 		}
-		for _, r := range runs {
-			res, err := RunOnce(Spec{Strategy: r.s, Op: r.op, Machine: mccCfg, FS: fcfg, Workload: wl})
-			if err != nil {
-				return nil, fmt.Errorf("exascale %d nodes %s %s: %w", nodes, r.s.Name(), r.op, err)
-			}
-			*r.res = res
-			o.logf("  exascale nodes=%d: %s", nodes, res.String())
-		}
+	}
+	results, err := runSpecs(o, "exascale", rows)
+	if err != nil {
+		return nil, fmt.Errorf("exascale: %w", err)
+	}
+	for ni, nodes := range nodeCounts {
+		bw, bm, rw, rm := results[ni*4], results[ni*4+1], results[ni*4+2], results[ni*4+3]
 		t.AddRow(
 			fmt.Sprintf("%d", nodes),
-			fmt.Sprintf("%d", ranks),
-			fmt.Sprintf("%.2f", float64(wl.TotalBytes())/1e9),
+			fmt.Sprintf("%d", nodes*12),
+			fmt.Sprintf("%.2f", float64(workloads[ni].TotalBytes())/1e9),
 			fmt.Sprintf("%.1f", bw.BandwidthMBps()),
 			fmt.Sprintf("%.1f", bm.BandwidthMBps()),
 			pct(bm.BandwidthMBps(), bw.BandwidthMBps()),

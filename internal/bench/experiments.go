@@ -16,14 +16,20 @@ import (
 
 // Options steer an experiment run.
 type Options struct {
-	// Scale multiplies per-rank data volume; 1.0 is this repo's default
-	// experiment size (see EXPERIMENTS.md for the mapping to the
-	// paper's sizes). Smaller is faster.
+	// Scale multiplies per-rank data volume (dimensionless factor); 1.0
+	// is this repo's default experiment size (see EXPERIMENTS.md for
+	// the mapping to the paper's sizes). Smaller is faster.
 	Scale float64
 	// Seed drives memory-variance sampling and storage jitter.
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Parallel is how many simulation runs an experiment executes
+	// concurrently through internal/sweep. 0 means GOMAXPROCS; 1
+	// recovers strictly serial execution. Results are byte-identical
+	// for every value: each run is hermetic (its own engine, machine,
+	// file system, and sinks) and results land slot-per-row.
+	Parallel int
 }
 
 // fill in defaults.
@@ -35,12 +41,6 @@ func (o Options) withDefaults() Options {
 		o.Seed = 42
 	}
 	return o
-}
-
-func (o Options) logf(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
-	}
 }
 
 // SigmaBytes is the paper's memory-variance parameter: per-process
@@ -111,35 +111,44 @@ func comparisonSweep(title string, wl workload.Workload, nodes int, o Options) (
 		Headers: []string{"mem/agg", "two-phase wr MB/s", "mccio wr MB/s", "wr gain",
 			"two-phase rd MB/s", "mccio rd MB/s", "rd gain"},
 	}
-	var points []SweepPoint
 	fcfg := testbedFS(o.Seed)
+	// Build the whole grid up front — every row is a hermetic Spec —
+	// then fan it out through the sweep pool. Both strategies run on
+	// the SAME machine: per-node aggregation memory is normal around
+	// the nominal buffer size (the paper's σ=50 setup). The baseline
+	// asks for a fixed buffer everywhere and is capped by what
+	// physically exists; MCCIO places around the variance.
+	var rows []specRow
 	for _, mem := range MemSweep {
-		pt := SweepPoint{Mem: mem}
-		// Both strategies run on the SAME machine: per-node aggregation
-		// memory is normal around the nominal buffer size (the paper's
-		// σ=50 setup). The baseline asks for a fixed buffer everywhere
-		// and is capped by what physically exists; MCCIO places around
-		// the variance.
 		mccCfg := testbedMachine(nodes, mem, SigmaBytes, o.Seed)
 		mccOpts := mccioOptions(mccCfg, fcfg, wl.TotalBytes(), mem)
-		runs := []struct {
-			res  *trace.Result
-			s    iolib.Collective
-			op   string
-			mcfg cluster.Config
+		for _, r := range []struct {
+			s  iolib.Collective
+			op string
 		}{
-			{&pt.BaseWrite, collio.TwoPhase{CBBuffer: mem}, "write", mccCfg},
-			{&pt.MccWrite, core.MCCIO{Opts: mccOpts}, "write", mccCfg},
-			{&pt.BaseRead, collio.TwoPhase{CBBuffer: mem}, "read", mccCfg},
-			{&pt.MccRead, core.MCCIO{Opts: mccOpts}, "read", mccCfg},
+			{collio.TwoPhase{CBBuffer: mem}, "write"},
+			{core.MCCIO{Opts: mccOpts}, "write"},
+			{collio.TwoPhase{CBBuffer: mem}, "read"},
+			{core.MCCIO{Opts: mccOpts}, "read"},
+		} {
+			rows = append(rows, specRow{
+				key:  fmt.Sprintf("%s %s at %s", r.s.Name(), r.op, mb(mem)),
+				spec: Spec{Strategy: r.s, Op: r.op, Machine: mccCfg, FS: fcfg, Workload: wl},
+			})
 		}
-		for _, r := range runs {
-			res, err := RunOnce(Spec{Strategy: r.s, Op: r.op, Machine: r.mcfg, FS: fcfg, Workload: wl})
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s %s at %s: %w", r.s.Name(), r.op, mb(mem), err)
-			}
-			*r.res = res
-			o.logf("  %s mem=%s: %s", title, mb(mem), res.String())
+	}
+	results, err := runSpecs(o, title, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	var points []SweepPoint
+	for mi, mem := range MemSweep {
+		pt := SweepPoint{
+			Mem:       mem,
+			BaseWrite: results[mi*4],
+			MccWrite:  results[mi*4+1],
+			BaseRead:  results[mi*4+2],
+			MccRead:   results[mi*4+3],
 		}
 		points = append(points, pt)
 		t.AddRow(mb(mem),

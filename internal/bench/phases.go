@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
 	"repro/internal/obs"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // breakdownPhases are the top-level pipeline phases the breakdown table
@@ -44,15 +47,33 @@ func PhaseBreakdown(o Options) (*Table, error) {
 		{collio.TwoPhase{CBBuffer: mem}, "read"},
 		{core.MCCIO{Opts: mccOpts}, "read"},
 	}
-	for _, r := range runs {
+	type phaseOut struct {
+		res trace.Result
+		sum *obs.Summary
+	}
+	runner := sweep.Sweep[phaseOut]{
+		Workers:  o.Parallel,
+		Progress: o.Progress,
+		Label:    "phases",
+		Describe: func(i int, out phaseOut) string {
+			return fmt.Sprintf("phases %s %s: %s", runs[i].s.Name(), runs[i].op, out.res.String())
+		},
+	}
+	outs, err := runner.Run(context.Background(), len(runs), func(_ context.Context, i int) (phaseOut, error) {
+		r := runs[i]
 		res, sum, err := RunOncePhases(Spec{Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg, Workload: wl})
 		if err != nil {
-			return nil, fmt.Errorf("%s %s: %w", r.s.Name(), r.op, err)
+			return phaseOut{}, fmt.Errorf("%s %s: %w", r.s.Name(), r.op, err)
 		}
-		o.logf("  phases %s: %s", r.s.Name(), res.String())
-		row := []string{r.s.Name(), r.op, fmt.Sprintf("%.1f", res.BandwidthMBps())}
+		return phaseOut{res: res, sum: sum}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		row := []string{r.s.Name(), r.op, fmt.Sprintf("%.1f", outs[i].res.BandwidthMBps())}
 		for _, p := range breakdownPhases {
-			row = append(row, fmt.Sprintf("%.4f", sum.PhaseSeconds(p)))
+			row = append(row, fmt.Sprintf("%.4f", outs[i].sum.PhaseSeconds(p)))
 		}
 		t.AddRow(row...)
 	}

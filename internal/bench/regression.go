@@ -11,14 +11,18 @@ import (
 )
 
 // RegressionMems are the memory points of the fixed-seed regression
-// bench: one scarce and one comfortable aggregation budget.
+// bench: one scarce and one comfortable aggregation budget (bytes).
 var RegressionMems = []int64{4 * cluster.MiB, 16 * cluster.MiB}
 
 // RunRegression runs the small fixed-seed bench that gates CI: IOR
 // interleaved at 24 processes on 2 nodes x 12 cores, both strategies
 // and both operations at each RegressionMems point — 8 rows in a few
-// seconds. reg, when non-nil, aggregates metrics across all runs and
-// its snapshot is embedded in the returned trajectory.
+// seconds. The rows fan out across o.Parallel workers; each run gets
+// its own metrics registry and the per-run snapshots are merged in row
+// order into the trajectory's combined snapshot, so the output is
+// byte-identical whatever the worker count. reg, when non-nil, absorbs
+// that merged snapshot so a live /metrics exposition sees the sweep's
+// aggregate counters.
 //
 // The simulation runs on virtual time with seeded randomness, so for a
 // given (scale, seed) the returned numbers are bit-identical on every
@@ -28,10 +32,11 @@ func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
 	out := &BenchFile{Schema: BenchSchemaVersion, Scale: o.Scale, Seed: o.Seed}
 	wl := iorWorkload(24, o.Scale)
 	fcfg := testbedFS(o.Seed)
+	var rows []specRow
 	for _, mem := range RegressionMems {
 		mcfg := testbedMachine(2, mem, SigmaBytes, o.Seed)
 		mccOpts := mccioOptions(mcfg, fcfg, wl.TotalBytes(), mem)
-		runs := []struct {
+		for _, r := range []struct {
 			s  iolib.Collective
 			op string
 		}{
@@ -39,23 +44,39 @@ func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
 			{core.MCCIO{Opts: mccOpts}, "write"},
 			{collio.TwoPhase{CBBuffer: mem}, "read"},
 			{core.MCCIO{Opts: mccOpts}, "read"},
-		}
-		for _, r := range runs {
-			key := fmt.Sprintf("mem=%s/%s/%s", mb(mem), r.s.Name(), r.op)
-			res, err := RunOnce(Spec{
-				Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg,
-				Workload: wl, Metrics: reg,
+		} {
+			rows = append(rows, specRow{
+				key:  fmt.Sprintf("mem=%s/%s/%s", mb(mem), r.s.Name(), r.op),
+				spec: Spec{Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg, Workload: wl},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: regression %s: %w", key, err)
-			}
-			out.Experiments = append(out.Experiments, RowFromResult(key, res))
-			o.logf("  regression %s: %s", key, res.String())
 		}
 	}
+	// One registry per row: concurrent runs never share atomic cells,
+	// and merging the snapshots in row order reproduces exactly what a
+	// single registry fed by a serial sweep would hold.
+	var regs []*metrics.Registry
 	if reg != nil {
-		snap := reg.Snapshot()
-		out.Metrics = &snap
+		regs = make([]*metrics.Registry, len(rows))
+		for i := range regs {
+			regs[i] = metrics.New()
+			rows[i].spec.Metrics = regs[i]
+		}
+	}
+	results, err := runSpecs(o, "regression", rows)
+	if err != nil {
+		return nil, fmt.Errorf("bench: regression: %w", err)
+	}
+	for i, res := range results {
+		out.Experiments = append(out.Experiments, RowFromResult(rows[i].key, res))
+	}
+	if reg != nil {
+		snaps := make([]metrics.Snapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
+		merged := metrics.MergeSnapshots(snaps...)
+		out.Metrics = &merged
+		reg.Absorb(merged)
 	}
 	return out, nil
 }

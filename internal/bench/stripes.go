@@ -7,7 +7,6 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
-	"repro/internal/trace"
 )
 
 // Stripes sweeps the file system's stripe unit — the layout axis the
@@ -24,26 +23,29 @@ func Stripes(o Options) (*Table, error) {
 		Title:   "Stripe-unit sweep: IOR 120 procs, 8MB nominal buffer",
 		Headers: []string{"stripe", "two-phase wr MB/s", "mccio wr MB/s", "gain", "fs requests (2p/mccio)"},
 	}
-	for _, su := range []int64{256 << 10, 1 << 20, 4 << 20} {
+	units := []int64{256 << 10, 1 << 20, 4 << 20}
+	var rows []specRow
+	for _, su := range units {
 		fcfg := testbedFS(o.Seed)
 		fcfg.StripeUnit = su
 		mccCfg := testbedMachine(nodes, mem, SigmaBytes, o.Seed)
 		mccOpts := mccioOptions(mccCfg, fcfg, wl.TotalBytes(), mem)
-		var base, mcc trace.Result
-		for _, r := range []struct {
-			res *trace.Result
-			s   iolib.Collective
-		}{
-			{&base, collio.TwoPhase{CBBuffer: mem}},
-			{&mcc, core.MCCIO{Opts: mccOpts}},
+		for _, s := range []iolib.Collective{
+			collio.TwoPhase{CBBuffer: mem},
+			core.MCCIO{Opts: mccOpts},
 		} {
-			res, err := RunOnce(Spec{Strategy: r.s, Op: "write", Machine: mccCfg, FS: fcfg, Workload: wl})
-			if err != nil {
-				return nil, err
-			}
-			*r.res = res
-			o.logf("  stripes su=%s: %s", mb(su), res.String())
+			rows = append(rows, specRow{
+				key:  fmt.Sprintf("stripes su=%s %s", mb(su), s.Name()),
+				spec: Spec{Strategy: s, Op: "write", Machine: mccCfg, FS: fcfg, Workload: wl},
+			})
 		}
+	}
+	results, err := runSpecs(o, "stripes", rows)
+	if err != nil {
+		return nil, err
+	}
+	for si, su := range units {
+		base, mcc := results[si*2], results[si*2+1]
 		t.AddRow(mb(su),
 			fmt.Sprintf("%.1f", base.BandwidthMBps()),
 			fmt.Sprintf("%.1f", mcc.BandwidthMBps()),

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// specRow is one unit of an experiment sweep: a stable display key and
+// the fully built run specification. Rows must be hermetic — a Spec
+// carries value-typed configs and strategies, plus per-row sinks only
+// (never a tracer, registry, or fault schedule shared with a sibling
+// row), which is what makes the sweep safe to parallelize.
+type specRow struct {
+	key  string
+	spec Spec
+}
+
+// runSpecs executes the rows through the sweep worker pool — o.Parallel
+// runs at a time, GOMAXPROCS when 0, strictly serial when 1 — and
+// returns the results slot-per-row: results[i] belongs to rows[i]
+// whatever order the runs finished in. Per-row progress lines (key,
+// result, ETA) land on o.Progress. A failed row is reported wrapped
+// with its key, after every other row has completed.
+func runSpecs(o Options, label string, rows []specRow) ([]trace.Result, error) {
+	s := sweep.Sweep[trace.Result]{
+		Workers:  o.Parallel,
+		Progress: o.Progress,
+		Label:    label,
+		Describe: func(row int, r trace.Result) string { return rows[row].key + ": " + r.String() },
+	}
+	return s.Run(context.Background(), len(rows), func(_ context.Context, row int) (trace.Result, error) {
+		res, err := RunOnce(rows[row].spec)
+		if err != nil {
+			return trace.Result{}, fmt.Errorf("%s: %w", rows[row].key, err)
+		}
+		return res, nil
+	})
+}

@@ -48,27 +48,27 @@ type RetrySpec struct {
 // starting at the given engine round, as if a co-resident application
 // claimed it. The squat is permanent for the run.
 type MemPressure struct {
-	Node  int   `json:"node"`
-	Round int   `json:"round"`
-	Bytes int64 `json:"bytes"`
+	Node  int   `json:"node"`  // node index, 0-based
+	Round int   `json:"round"` // engine round the squat lands on
+	Bytes int64 `json:"bytes"` // bytes removed from the node's budget
 }
 
 // SlowOST multiplies one OST's service time by Factor while active.
 // UntilSec 0 means active forever from FromSec on.
 type SlowOST struct {
-	OST      int     `json:"ost"`
-	Factor   float64 `json:"factor"`
-	FromSec  float64 `json:"from_s"`
-	UntilSec float64 `json:"until_s"`
+	OST      int     `json:"ost"`     // OST index, 0-based
+	Factor   float64 `json:"factor"`  // service-time multiplier (dimensionless, >= 1)
+	FromSec  float64 `json:"from_s"`  // virtual seconds from run start
+	UntilSec float64 `json:"until_s"` // virtual seconds; 0 = forever
 }
 
 // SlowLink multiplies the fabric service time of messages entering or
 // leaving Node by Factor while active; UntilSec 0 means forever.
 type SlowLink struct {
-	Node     int     `json:"node"`
-	Factor   float64 `json:"factor"`
-	FromSec  float64 `json:"from_s"`
-	UntilSec float64 `json:"until_s"`
+	Node     int     `json:"node"`    // node index, 0-based
+	Factor   float64 `json:"factor"`  // fabric service-time multiplier (dimensionless, >= 1)
+	FromSec  float64 `json:"from_s"`  // virtual seconds from run start
+	UntilSec float64 `json:"until_s"` // virtual seconds; 0 = forever
 }
 
 // NodeFailure kills a node as an aggregator host from the given engine
@@ -77,8 +77,8 @@ type SlowLink struct {
 // in the exchange (the paper's model loses the aggregation service, not
 // the process's data).
 type NodeFailure struct {
-	Node  int `json:"node"`
-	Round int `json:"round"`
+	Node  int `json:"node"`  // node index, 0-based
+	Round int `json:"round"` // engine round the failure lands on
 }
 
 // MessageSpec drives the per-message fault draws: each shuffle exchange
@@ -86,9 +86,9 @@ type NodeFailure struct {
 // message is delayed with DelayRate by an exponential extra latency of
 // mean DelayMeanSec.
 type MessageSpec struct {
-	DropRate     float64 `json:"drop_rate"`
-	DelayRate    float64 `json:"delay_rate"`
-	DelayMeanSec float64 `json:"delay_mean_s"`
+	DropRate     float64 `json:"drop_rate"`    // probability in [0,1] per exchange
+	DelayRate    float64 `json:"delay_rate"`   // probability in [0,1] per inter-node message
+	DelayMeanSec float64 `json:"delay_mean_s"` // mean of the exponential extra latency, seconds
 }
 
 // Spec is the declarative FaultSpec: what to inject and when. The zero

@@ -1,0 +1,101 @@
+package metrics
+
+import "sort"
+
+// kindFromString is the inverse of Kind.String for snapshot payloads.
+func kindFromString(s string) (Kind, bool) {
+	switch s {
+	case "counter":
+		return KindCounter, true
+	case "gauge":
+		return KindGauge, true
+	case "histogram":
+		return KindHistogram, true
+	}
+	return 0, false
+}
+
+// sortedLabelPairs flattens a snapshot sample's label map into the
+// alternating key/value list the registry indexes children by, with
+// keys sorted so the rendering is deterministic regardless of the
+// order the original instrument declared them in.
+func sortedLabelPairs(labels map[string]string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		out = append(out, k, labels[k])
+	}
+	return out
+}
+
+// Absorb folds a snapshot into the registry, instrument by instrument:
+// counter values and histogram bucket counts/sums add onto whatever
+// the registry already holds, while gauges are overwritten — the
+// absorbed snapshot is treated as the later observation, so absorbing
+// run snapshots in row order reproduces the final gauge values a
+// single registry shared across those runs in that order would show.
+// Families with an unknown kind are skipped. Nil-safe: absorbing into
+// a nil registry is a no-op.
+func (r *Registry) Absorb(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, fam := range s.Families {
+		kind, ok := kindFromString(fam.Kind)
+		if !ok {
+			continue
+		}
+		for _, sm := range fam.Samples {
+			labels := sortedLabelPairs(sm.Labels)
+			switch kind {
+			case KindCounter:
+				r.Counter(fam.Name, fam.Help, labels...).Add(sm.Value)
+			case KindGauge:
+				r.Gauge(fam.Name, fam.Help, labels...).Set(sm.Value)
+			case KindHistogram:
+				if len(sm.Buckets) < 2 {
+					continue // malformed: at least one bound plus +Inf
+				}
+				bounds := make([]float64, len(sm.Buckets)-1)
+				for i := range bounds {
+					bounds[i] = sm.Buckets[i].UpperBound
+				}
+				h := r.Histogram(fam.Name, fam.Help, bounds, labels...)
+				// Snapshot buckets are non-cumulative and align with
+				// the histogram's counts (last slot is +Inf). Guard the
+				// copy range in case an absorbed histogram was
+				// registered earlier with different bounds.
+				for i, b := range sm.Buckets {
+					if i < len(h.counts) {
+						h.counts[i].Add(b.Count)
+					}
+				}
+				h.count.Add(sm.Count)
+				h.sum.add(sm.Value)
+			}
+		}
+	}
+}
+
+// MergeSnapshots folds per-run snapshots into one combined snapshot —
+// the sweep-level aggregate embedded in a bench trajectory. Counters
+// and histograms sum across runs; gauges take the value of the last
+// snapshot that carries them (matching what a registry shared across
+// the runs executed in that order would report). The merge is a pure
+// function of the snapshot sequence, so a parallel sweep that collects
+// per-run snapshots slot-per-row merges to the exact snapshot its
+// serial counterpart produces.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	r := New()
+	for _, s := range snaps {
+		r.Absorb(s)
+	}
+	return r.Snapshot()
+}

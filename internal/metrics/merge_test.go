@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fillRun builds a registry shaped like one bench run's worth of
+// instruments, scaled by k so runs are distinguishable.
+func fillRun(k float64) *Registry {
+	r := New()
+	r.Counter("rounds_total", "engine rounds", "op", "write").Add(10 * k)
+	r.Counter("rounds_total", "engine rounds", "op", "read").Add(3 * k)
+	r.Gauge("mem_peak_bytes", "ledger peak", "node", "0").Set(100 * k)
+	h := r.Histogram("io_bytes", "per-round IO", []float64{10, 100}, "ost", "1")
+	h.Observe(5 * k)
+	h.Observe(50 * k)
+	return r
+}
+
+// TestMergeSnapshotsEqualsSharedRegistry: merging per-run snapshots in
+// row order must reproduce what a single registry shared across the
+// same runs (executed serially in that order) reports.
+func TestMergeSnapshotsEqualsSharedRegistry(t *testing.T) {
+	shared := New()
+	var snaps []Snapshot
+	for _, k := range []float64{1, 2, 3} {
+		snaps = append(snaps, fillRun(k).Snapshot())
+		// Replay the same updates on the shared registry.
+		shared.Counter("rounds_total", "engine rounds", "op", "write").Add(10 * k)
+		shared.Counter("rounds_total", "engine rounds", "op", "read").Add(3 * k)
+		shared.Gauge("mem_peak_bytes", "ledger peak", "node", "0").Set(100 * k)
+		h := shared.Histogram("io_bytes", "per-round IO", []float64{10, 100}, "ost", "1")
+		h.Observe(5 * k)
+		h.Observe(50 * k)
+	}
+	merged := MergeSnapshots(snaps...)
+	want := shared.Snapshot()
+	a, _ := json.Marshal(merged)
+	b, _ := json.Marshal(want)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged snapshot differs from shared-registry snapshot:\nmerged: %s\nshared: %s", a, b)
+	}
+	// Spot-check semantics: counters summed, gauge last-wins.
+	if v, ok := merged.Get("rounds_total", map[string]string{"op": "write"}); !ok || v != 60 {
+		t.Fatalf("merged counter = %v, %v; want 60", v, ok)
+	}
+	if v, ok := merged.Get("mem_peak_bytes", map[string]string{"node": "0"}); !ok || v != 300 {
+		t.Fatalf("merged gauge = %v, %v; want 300 (last run wins)", v, ok)
+	}
+}
+
+// TestMergeIsOrderDependentOnlyForGauges: permuting run order changes
+// gauges (last-wins) but not counter or histogram totals.
+func TestMergeGaugeLastWins(t *testing.T) {
+	a, b := fillRun(1).Snapshot(), fillRun(4).Snapshot()
+	ab := MergeSnapshots(a, b)
+	ba := MergeSnapshots(b, a)
+	if v, _ := ab.Get("mem_peak_bytes", map[string]string{"node": "0"}); v != 400 {
+		t.Fatalf("a,b gauge = %v, want 400", v)
+	}
+	if v, _ := ba.Get("mem_peak_bytes", map[string]string{"node": "0"}); v != 100 {
+		t.Fatalf("b,a gauge = %v, want 100", v)
+	}
+	for _, s := range []Snapshot{ab, ba} {
+		if v, _ := s.Get("rounds_total", map[string]string{"op": "write"}); v != 50 {
+			t.Fatalf("counter sum = %v, want 50 in both orders", v)
+		}
+	}
+}
+
+// TestMergeHistogramBuckets: bucket counts, sample count, and sum all
+// add across runs, including the +Inf bucket.
+func TestMergeHistogramBuckets(t *testing.T) {
+	r1, r2 := New(), New()
+	h1 := r1.Histogram("lat", "", []float64{1, 10})
+	h1.Observe(0.5)
+	h1.Observe(100) // +Inf bucket
+	h2 := r2.Histogram("lat", "", []float64{1, 10})
+	h2.Observe(5)
+	h2.Observe(200) // +Inf bucket
+	m := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	if len(m.Families) != 1 {
+		t.Fatalf("got %d families", len(m.Families))
+	}
+	s := m.Families[0].Samples[0]
+	if s.Count != 4 || s.Value != 305.5 {
+		t.Fatalf("merged count=%d sum=%v, want 4, 305.5", s.Count, s.Value)
+	}
+	wantCounts := []int64{1, 1, 2}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[2].UpperBound, 1) {
+		t.Fatalf("last bucket bound %v, want +Inf", s.Buckets[2].UpperBound)
+	}
+}
+
+// TestAbsorbRoundTripsThroughJSON: a snapshot that has been through
+// the JSON encode/decode cycle (the persisted-trajectory path) absorbs
+// identically to a fresh one.
+func TestAbsorbRoundTripsThroughJSON(t *testing.T) {
+	snap := fillRun(2).Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(MergeSnapshots(snap))
+	b, _ := json.Marshal(MergeSnapshots(decoded))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSON round-trip changed the absorbed snapshot:\nfresh:   %s\ndecoded: %s", a, b)
+	}
+}
+
+// TestAbsorbNilRegistry: absorbing into a nil registry must not panic.
+func TestAbsorbNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Absorb(fillRun(1).Snapshot())
+}

@@ -1,0 +1,189 @@
+// Package sweep fans independent experiment rows out across a worker
+// pool while keeping the sweep's output byte-identical to serial
+// execution.
+//
+// Every experiment in this repo — regression benches, chaos drop-rate
+// tables, exascale scans, ablations — is a grid of hermetic simulation
+// runs: each run builds its own discrete-event engine, machine, file
+// system, and observability sinks, and shares no mutable state with
+// its siblings. That makes the grid embarrassingly parallel, and this
+// package supplies the three properties the bench layer needs on top
+// of plain goroutines:
+//
+//   - Deterministic output order. Results land in a slot-per-row slice
+//     indexed by row number, never by completion order, so a sweep's
+//     output is independent of scheduling and of the worker count.
+//   - Deterministic randomness. Seed derives a per-row RNG seed from
+//     the sweep's base seed and the row index, so a row's random draws
+//     are a pure function of its identity in the grid.
+//   - Failure isolation. A row that fails does not cancel its
+//     siblings; remaining rows still run and the per-row errors are
+//     aggregated into one error once every dispatched row has settled.
+//
+// A Sweep with Workers == 1 executes rows strictly serially in row
+// order — today's single-core behaviour — and is the reference the
+// determinism tests compare parallel runs against.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Seed derives the deterministic RNG seed for one row of a sweep from
+// the sweep's base seed and the row index. The derivation is a
+// SplitMix64-style finalizer over the pair, so adjacent rows get
+// decorrelated streams and the result is a pure function of
+// (base, row) — independent of worker count and completion order.
+func Seed(base uint64, row int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(row+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sweep runs n independent rows through a bounded worker pool. The
+// zero value is ready to use: all cores, no progress output.
+type Sweep[T any] struct {
+	// Workers is the number of rows executed concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 recovers strictly serial row-order
+	// execution. The pool never spawns more workers than rows.
+	Workers int
+	// Progress, when non-nil, receives one line per completed row:
+	// "label: row 12/48 done (detail), ETA 1.2s". Lines are written
+	// from the collector only, so they never interleave mid-line.
+	Progress io.Writer
+	// Label prefixes progress lines; empty means no prefix.
+	Label string
+	// Describe, when non-nil, renders the per-row detail shown in the
+	// row's completion line. It is called from the collector after the
+	// row's result is published, with the zero T when the row failed.
+	Describe func(row int, v T) string
+}
+
+// Run executes fn(ctx, row) for every row in [0, n) across the pool
+// and returns the results in a slot-per-row slice: out[i] is row i's
+// result regardless of completion order. A row's error does not stop
+// its siblings — every remaining row still runs — and all failures
+// come back joined into one error, each wrapped with its row number;
+// out[i] holds the zero T for failed rows. Cancelling ctx stops
+// dispatching new rows (in-flight rows finish); skipped rows report
+// the context's error. n == 0 returns an empty slice and nil.
+func (s Sweep[T]) Run(ctx context.Context, n int, fn func(ctx context.Context, row int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	errs := make([]error, n)
+	ran := make([]bool, n)
+	jobs := make(chan int)
+	completions := make(chan int)
+	dispatched := make(chan int, 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for row := range jobs {
+				ran[row] = true
+				if err := ctx.Err(); err != nil {
+					// Dispatched before the cancel landed: skip the
+					// work but still account for the row.
+					errs[row] = err
+				} else {
+					out[row], errs[row] = fn(ctx, row)
+				}
+				completions <- row
+			}
+		}()
+	}
+
+	go func() {
+		sent := 0
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+				sent++
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+		dispatched <- sent
+	}()
+
+	// Collect. The number of completions to expect is only known once
+	// the dispatcher finishes (cancellation can cut it short), so the
+	// collector listens for both until the counts meet.
+	start := time.Now()
+	want := -1
+	done := 0
+	for want < 0 || done < want {
+		select {
+		case sent := <-dispatched:
+			want = sent
+		case row := <-completions:
+			done++
+			s.progress(row, done, n, start, out[row], errs[row])
+		}
+	}
+	wg.Wait()
+
+	// Rows the dispatcher never handed out exist only here; stamp them
+	// with the cancellation cause after all workers have exited.
+	if err := ctx.Err(); err != nil {
+		for i := range ran {
+			if !ran[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("row %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(failed...)
+}
+
+// progress emits one row-completion line with a naive ETA: remaining
+// rows at the observed mean wall-clock rate. Host time is only used
+// for display; nothing in the results depends on it.
+func (s Sweep[T]) progress(row, done, n int, start time.Time, v T, err error) {
+	if s.Progress == nil {
+		return
+	}
+	prefix := ""
+	if s.Label != "" {
+		prefix = s.Label + ": "
+	}
+	elapsed := time.Since(start)
+	eta := time.Duration(float64(elapsed) / float64(done) * float64(n-done)).Round(10 * time.Millisecond)
+	detail := ""
+	switch {
+	case err != nil:
+		detail = fmt.Sprintf(" (FAILED: %v)", err)
+	case s.Describe != nil:
+		detail = " (" + s.Describe(row, v) + ")"
+	}
+	fmt.Fprintf(s.Progress, "%srow %d/%d done%s, ETA %s\n", prefix, done, n, detail, eta)
+}

@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestZeroRows: an empty sweep returns an empty slice and no error,
+// regardless of worker count.
+func TestZeroRows(t *testing.T) {
+	out, err := Sweep[int]{Workers: 4}.Run(context.Background(), 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for zero-row sweep")
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("zero rows: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("zero rows: got %d results", len(out))
+	}
+}
+
+// TestOneRow: a single row runs exactly once and lands in slot 0.
+func TestOneRow(t *testing.T) {
+	var calls atomic.Int64
+	out, err := Sweep[string]{Workers: 8}.Run(context.Background(), 1, func(_ context.Context, row int) (string, error) {
+		calls.Add(1)
+		return fmt.Sprintf("row-%d", row), nil
+	})
+	if err != nil {
+		t.Fatalf("one row: %v", err)
+	}
+	if calls.Load() != 1 || out[0] != "row-0" {
+		t.Fatalf("one row: calls=%d out=%v", calls.Load(), out)
+	}
+}
+
+// TestWorkersExceedRows: a pool wider than the grid still runs every
+// row exactly once and keeps slot-per-row ordering.
+func TestWorkersExceedRows(t *testing.T) {
+	const n = 3
+	var calls atomic.Int64
+	out, err := Sweep[int]{Workers: 64}.Run(context.Background(), n, func(_ context.Context, row int) (int, error) {
+		calls.Add(1)
+		return row * row, nil
+	})
+	if err != nil {
+		t.Fatalf("workers > rows: %v", err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("workers > rows: %d calls, want %d", calls.Load(), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestErrorMidSweep: one failing row does not stop its siblings — every
+// other row still completes — and the aggregated error names the row.
+func TestErrorMidSweep(t *testing.T) {
+	const n = 12
+	boom := errors.New("boom")
+	out, err := Sweep[int]{Workers: 4}.Run(context.Background(), n, func(_ context.Context, row int) (int, error) {
+		if row == 5 {
+			return 0, boom
+		}
+		return row + 100, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("aggregated error %v does not wrap the row error", err)
+	}
+	if !strings.Contains(err.Error(), "row 5") {
+		t.Fatalf("aggregated error %q does not name row 5", err)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 5 && out[i] != 0:
+			t.Fatalf("failed row slot holds %d, want zero value", out[i])
+		case i != 5 && out[i] != i+100:
+			t.Fatalf("row %d did not complete after sibling failure: %d", i, out[i])
+		}
+	}
+}
+
+// TestCancellation: cancelling mid-sweep lets in-flight rows finish,
+// skips undispatched rows, and reports context.Canceled for them.
+func TestCancellation(t *testing.T) {
+	const n = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	out, err := Sweep[int]{Workers: 2}.Run(ctx, n, func(_ context.Context, row int) (int, error) {
+		once.Do(func() {
+			cancel() // cancel while the first dispatched rows are in flight
+			close(release)
+		})
+		<-release
+		completed.Add(1)
+		return row + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+	done := completed.Load()
+	if done == 0 || done == n {
+		t.Fatalf("completed %d rows, want some but not all of %d", done, n)
+	}
+	var filled int64
+	for _, v := range out {
+		if v != 0 {
+			filled++
+		}
+	}
+	if filled != done {
+		t.Fatalf("%d slots filled, %d rows completed", filled, done)
+	}
+}
+
+// TestSlotOrderIndependentOfCompletionOrder: rows finishing out of
+// order still land in their own slots.
+func TestSlotOrderIndependentOfCompletionOrder(t *testing.T) {
+	const n = 16
+	gate := make(chan struct{})
+	var started atomic.Int64
+	out, err := Sweep[int]{Workers: n}.Run(context.Background(), n, func(_ context.Context, row int) (int, error) {
+		if started.Add(1) == n {
+			close(gate) // last starter releases everyone: reverse-ish completion
+		}
+		<-gate
+		return row * 7, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*7 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*7)
+		}
+	}
+}
+
+// TestProgressLines: progress output counts every row and reports an
+// ETA, serialized line by line.
+func TestProgressLines(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, err := Sweep[int]{Workers: 3, Progress: w, Label: "grid"}.Run(context.Background(), 5, func(_ context.Context, row int) (int, error) {
+		return row, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d progress lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "grid: row ") || !strings.Contains(l, "/5 done") || !strings.Contains(l, "ETA") {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+	if !strings.Contains(lines[4], "row 5/5 done") {
+		t.Fatalf("last line %q is not the 5/5 completion", lines[4])
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestSeedDeterministicAndDecorrelated: Seed is a pure function of
+// (base, row), differs across rows and bases, and never collides with
+// the base itself on small grids.
+func TestSeedDeterministic(t *testing.T) {
+	seen := map[uint64]int{}
+	for row := 0; row < 1000; row++ {
+		s := Seed(42, row)
+		if s != Seed(42, row) {
+			t.Fatalf("Seed(42, %d) not deterministic", row)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(42, %d) == Seed(42, %d)", row, prev)
+		}
+		seen[s] = row
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Fatal("different bases produced the same row-0 seed")
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope; the repo's docs use inline
+// links only.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// Finding is one documentation defect, formatted as file:line: message.
+type Finding struct {
+	File    string
+	Line    int // 1-based line of the defect
+	Message string
+}
+
+// String renders the finding in the conventional compiler format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.File, f.Line, f.Message)
+}
+
+// Check scans one markdown file: relative links must point at files
+// that exist (anchors and external URLs are skipped), and every ```go
+// fence must survive go/format unchanged-or-error-free. The file's
+// directory anchors relative link resolution.
+func Check(path string, data []byte) []Finding {
+	var out []Finding
+	dir := filepath.Dir(path)
+	lines := strings.Split(string(data), "\n")
+
+	inFence := false
+	fenceIsGo := false
+	fenceStart := 0
+	var fence []string
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if !inFence {
+				inFence = true
+				fenceIsGo = strings.TrimPrefix(trimmed, "```") == "go"
+				fenceStart = i + 1
+				fence = fence[:0]
+			} else {
+				if fenceIsGo {
+					if f := checkGoFence(path, fenceStart, fence); f != nil {
+						out = append(out, *f)
+					}
+				}
+				inFence = false
+			}
+			continue
+		}
+		if inFence {
+			fence = append(fence, line)
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if f := checkLink(path, dir, i+1, target); f != nil {
+				out = append(out, *f)
+			}
+		}
+	}
+	return out
+}
+
+// checkLink validates one link target; nil means fine.
+func checkLink(file, dir string, line int, target string) *Finding {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"), strings.HasPrefix(target, "#"):
+		return nil
+	}
+	target = strings.SplitN(target, "#", 2)[0]
+	if target == "" {
+		return nil
+	}
+	if !fileExists(filepath.Join(dir, target)) {
+		return &Finding{File: file, Line: line, Message: fmt.Sprintf("broken relative link %q", target)}
+	}
+	return nil
+}
+
+// checkGoFence gofmt-checks one ```go snippet; nil means clean.
+// Snippets may be fragments (no package clause), so formatting is
+// attempted as-is and then wrapped in a synthetic package/function
+// before a failure is reported.
+func checkGoFence(file string, line int, src []string) *Finding {
+	snippet := strings.Join(src, "\n") + "\n"
+	if strings.TrimSpace(snippet) == "" {
+		return nil
+	}
+	candidates := []string{
+		snippet,
+		"package p\n\n" + snippet,
+		"package p\n\nfunc _() {\n" + snippet + "}\n",
+	}
+	var firstErr error
+	parsed := false
+	for _, c := range candidates {
+		formatted, err := format.Source([]byte(c))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		parsed = true
+		if string(formatted) == c {
+			return nil
+		}
+		// A reformat on the wrapped forms may only be indentation the
+		// wrapper itself introduced; compare the snippet's own lines
+		// ignoring leading tabs added by the function wrapper.
+		if sameModuloWrapperIndent(c, string(formatted)) {
+			return nil
+		}
+	}
+	if !parsed {
+		return &Finding{File: file, Line: line, Message: fmt.Sprintf("go snippet does not parse: %v", firstErr)}
+	}
+	return &Finding{File: file, Line: line, Message: "go snippet is not gofmt-formatted"}
+}
+
+// sameModuloWrapperIndent reports whether two sources differ only in
+// uniform leading-tab depth per line (the artifact of wrapping a
+// statement fragment in a synthetic function).
+func sameModuloWrapperIndent(a, b string) bool {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	if len(al) != len(bl) {
+		return false
+	}
+	for i := range al {
+		if strings.TrimLeft(al[i], "\t") != strings.TrimLeft(bl[i], "\t") {
+			return false
+		}
+	}
+	return true
+}
+
+// fileExists is a seam for tests; the default consults the real fs.
+var fileExists = func(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

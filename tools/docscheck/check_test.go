@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// withFS stubs the link-existence seam for one test.
+func withFS(t *testing.T, exists map[string]bool) {
+	t.Helper()
+	old := fileExists
+	fileExists = func(path string) bool { return exists[path] }
+	t.Cleanup(func() { fileExists = old })
+}
+
+func TestCheckFlagsBrokenRelativeLink(t *testing.T) {
+	withFS(t, map[string]bool{"docs/DESIGN.md": true})
+	md := "see [design](DESIGN.md) and [gone](MISSING.md)\n"
+	got := Check("docs/README.md", []byte(md))
+	if len(got) != 1 {
+		t.Fatalf("findings: %v", got)
+	}
+	if got[0].Line != 1 || !strings.Contains(got[0].Message, "MISSING.md") {
+		t.Fatalf("finding: %+v", got[0])
+	}
+}
+
+func TestCheckSkipsExternalAndAnchorLinks(t *testing.T) {
+	withFS(t, nil)
+	md := "[a](https://example.com) [b](#section) [c](mailto:x@y.z)\n"
+	if got := Check("README.md", []byte(md)); len(got) != 0 {
+		t.Fatalf("findings: %v", got)
+	}
+}
+
+func TestCheckStripsAnchorFromRelativeLink(t *testing.T) {
+	withFS(t, map[string]bool{"DESIGN.md": true})
+	md := "[a](DESIGN.md#architecture)\n"
+	if got := Check("README.md", []byte(md)); len(got) != 0 {
+		t.Fatalf("findings: %v", got)
+	}
+}
+
+func TestCheckAcceptsGofmtCleanFence(t *testing.T) {
+	withFS(t, nil)
+	md := "```go\npackage p\n\nfunc F() int { return 1 }\n```\n"
+	if got := Check("README.md", []byte(md)); len(got) != 0 {
+		t.Fatalf("findings: %v", got)
+	}
+}
+
+func TestCheckAcceptsStatementFragmentFence(t *testing.T) {
+	withFS(t, nil)
+	md := "```go\nout, err := runner.Run(ctx, 8, fn)\nif err != nil {\n\treturn err\n}\n```\n"
+	if got := Check("README.md", []byte(md)); len(got) != 0 {
+		t.Fatalf("findings: %v", got)
+	}
+}
+
+func TestCheckFlagsUnformattedFence(t *testing.T) {
+	withFS(t, nil)
+	md := "```go\npackage p\nfunc  F( ) int {return 1}\n```\n"
+	got := Check("README.md", []byte(md))
+	if len(got) != 1 || !strings.Contains(got[0].Message, "gofmt") {
+		t.Fatalf("findings: %v", got)
+	}
+}
+
+func TestCheckIgnoresNonGoFences(t *testing.T) {
+	withFS(t, nil)
+	md := "```sh\ngo  build   ./...\n```\n```\nnot go either [link](NOPE.md)\n```\n"
+	if got := Check("README.md", []byte(md)); len(got) != 0 {
+		t.Fatalf("findings: %v", got)
+	}
+}

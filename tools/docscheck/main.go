@@ -1,0 +1,39 @@
+// Command docscheck is the documentation gate CI runs over the repo's
+// markdown: every relative link must resolve to a file that exists,
+// and every ```go fenced snippet must be gofmt-clean (so examples in
+// the docs stay compilable idiom, not pseudocode drift).
+//
+// Usage:
+//
+//	docscheck README.md DESIGN.md EXPERIMENTS.md
+//
+// Exit status: 0 all files clean, 1 findings printed to stderr, 2 usage.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range Check(path, data) {
+			fmt.Fprintf(os.Stderr, "%s\n", f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
