@@ -17,11 +17,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/pland"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | serve | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
@@ -41,13 +42,14 @@ func main() {
 	}
 
 	reg := metrics.New()
+	var expo *metrics.Exposition
 	if *serveAddr != "" {
-		ln, err := metrics.Serve(*serveAddr, reg)
+		var err error
+		expo, err = metrics.StartExposition(*serveAddr, reg, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	var tables []*bench.Table
@@ -127,6 +129,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
 	}
+	if *experiment == "serve" {
+		// The plan-service benchmark: an in-process pland daemon under
+		// Zipf load. Not part of "all" because its wall-clock numbers are
+		// host-dependent and must not land in the regression baseline.
+		fmt.Fprintf(os.Stderr, "running serve (seed %d)...\n", *seed)
+		traj, t, err := pland.RunServeBench(opts, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+		if *jsonPath != "" {
+			traj.Created = time.Now().UTC().Format(time.RFC3339)
+			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	}
 	if *experiment == "sweep" {
 		// The sharded grid: 48 seed-varied rows fanned across -parallel
 		// workers, with per-row seeds derived from (seed, row index) so
@@ -168,9 +190,8 @@ func main() {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
-	if *serveAddr != "" {
-		fmt.Fprintln(os.Stderr, "runs complete; still serving /metrics — interrupt to exit")
-		select {}
+	if expo != nil {
+		expo.Block(os.Stderr, "runs complete; still serving /metrics — interrupt to exit")
 	}
 }
 

@@ -1,0 +1,78 @@
+// Command mccio-loadgen drives a running mccio-pland daemon with a
+// closed-loop, Zipf-skewed plan workload and reports throughput,
+// latency percentiles, and the client-observed cache behavior.
+//
+// Usage:
+//
+//	mccio-loadgen -url http://127.0.0.1:9100 -n 500 -c 16
+//	mccio-loadgen -url http://127.0.0.1:9100 -keys 64 -zipf 1.2 -json load.json
+//	mccio-loadgen -url http://127.0.0.1:9100 -sim-every 10
+//
+// With -json the report is also written as a JSON object whose field
+// names CI asserts on (hits, coalesced, hit_rate, throughput_rps, ...).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pland"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:9100", "base URL of the pland daemon")
+		n        = flag.Int("n", 200, "total requests to issue")
+		c        = flag.Int("c", 8, "concurrent closed-loop clients")
+		keys     = flag.Int("keys", 32, "distinct request layouts")
+		zipf     = flag.Float64("zipf", 1.1, "Zipf popularity skew (0 = uniform)")
+		ranks    = flag.Int("ranks", 16, "ranks per generated request")
+		simEvery = flag.Int("sim-every", 0, "route every Nth request to /v1/simulate (0 = plans only)")
+		seed     = flag.Uint64("seed", 1, "client RNG seed")
+		jsonPath = flag.String("json", "", "also write the report as JSON to this file")
+	)
+	flag.Parse()
+
+	rep, err := pland.RunLoad(pland.LoadSpec{
+		URL:         *url,
+		Requests:    *n,
+		Concurrency: *c,
+		Keys:        *keys,
+		ZipfS:       *zipf,
+		Ranks:       *ranks,
+		SimEvery:    *simEvery,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("requests    %d (%d errors, %d shed)\n", rep.Requests, rep.Errors, rep.Shed)
+	fmt.Printf("throughput  %.1f req/s over %.2fs\n", rep.ThroughputRPS, rep.ElapsedS)
+	fmt.Printf("latency     p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Printf("plan cache  %.1f%% hit rate (%d hits, %d coalesced, %d misses)\n",
+		rep.HitRate*100, rep.Hits, rep.Coalesced, rep.Misses)
+	if rep.Simulations > 0 {
+		fmt.Printf("simulations %d\n", rep.Simulations)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command mccio-pland runs the plan-serving daemon: an HTTP service
+// that computes (or cache-hits) MCCIO aggregation plans and runs
+// on-demand simulations.
+//
+// Usage:
+//
+//	mccio-pland -addr 127.0.0.1:9100
+//	mccio-pland -addr :9100 -cache 4096 -workers 8 -queue 128
+//	mccio-pland -addr :9100 -trace serve.trace.json
+//
+// Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
+// GET /metrics, GET /metrics.json. SIGINT/SIGTERM drains gracefully:
+// in-flight requests finish (up to -drain-timeout) and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pland"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9100", "listen address")
+		cacheCap  = flag.Int("cache", 1024, "plan cache capacity (entries)")
+		workers   = flag.Int("workers", 0, "planner/simulator worker count (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission backlog beyond in-flight jobs (negative = none)")
+		tracePath = flag.String("trace", "", "write server-side request spans to this trace file on exit")
+		drainT    = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	cfg := pland.Config{
+		Addr:          *addr,
+		CacheCapacity: *cacheCap,
+		Workers:       *workers,
+		Queue:         *queue,
+		Registry:      metrics.New(),
+		Tracer:        tracer,
+	}
+	// The flag default 64 doubles as pland's own default; distinguish
+	// an explicit -queue 0 (no backlog at all) from the unset case.
+	if *queue == 0 {
+		cfg.Queue = -1
+	}
+	srv, err := pland.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+		os.Exit(1)
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "mccio-pland: serving on http://%s (cache %d, workers %d)\n",
+		srv.Addr(), *cacheCap, w)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mccio-pland: %v — draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-pland: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-pland: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mccio-pland: wrote %d trace events to %s\n", tracer.Len(), *tracePath)
+	}
+	fmt.Fprintln(os.Stderr, "mccio-pland: drained cleanly")
+}
+
+// writeTrace serializes the trace; the extension picks the format
+// (.jsonl = JSON lines, otherwise Chrome trace_event JSON).
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return t.WriteJSONL(f)
+	}
+	return t.WriteChrome(f)
+}

@@ -137,12 +137,13 @@ func main() {
 	}
 	// The exporter comes up before the run so the endpoint can be
 	// scraped while the simulation executes.
+	var expo *metrics.Exposition
 	if *serveAddr != "" {
-		ln, err := metrics.Serve(*serveAddr, reg)
+		var err error
+		expo, err = metrics.StartExposition(*serveAddr, reg, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 	var sched *faults.Schedule
 	if *faultPath != "" {
@@ -179,9 +180,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics dump to %s\n", *metaPath)
 	}
-	if *serveAddr != "" {
-		fmt.Fprintln(os.Stderr, "run complete; still serving /metrics — interrupt to exit")
-		select {}
+	if expo != nil {
+		expo.Block(os.Stderr, "run complete; still serving /metrics — interrupt to exit")
 	}
 }
 

@@ -34,6 +34,16 @@ type BenchRow struct {
 	IOSeconds       float64 `json:"io_s"`
 	AggBufMedian    float64 `json:"agg_buf_median"`
 	AggBufP95       float64 `json:"agg_buf_p95"`
+
+	// Serve-experiment fields (the plan-service benchmark); zero and
+	// omitted on simulation rows. Wall-clock latency percentiles are
+	// host-dependent, so the regression gate compares only the
+	// deterministic fields above.
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
+	LatP50Ms      float64 `json:"lat_p50_ms,omitempty"`
+	LatP95Ms      float64 `json:"lat_p95_ms,omitempty"`
+	LatP99Ms      float64 `json:"lat_p99_ms,omitempty"`
+	HitRate       float64 `json:"hit_rate,omitempty"`
 }
 
 // RowFromResult flattens one run result into a trajectory row.

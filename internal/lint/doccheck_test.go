@@ -16,9 +16,12 @@ import (
 )
 
 // docAuditPackages are the packages whose exported identifiers must
-// all carry doc comments (ISSUE: sweep, bench, faults — the surfaces
-// the documentation pass covers).
-var docAuditPackages = []string{"../sweep", "../bench", "../faults"}
+// all carry doc comments: the surfaces the documentation pass covers
+// (sweep, bench, faults) plus the plan service and its commands.
+var docAuditPackages = []string{
+	"../sweep", "../bench", "../faults",
+	"../pland", "../../cmd/mccio-pland", "../../cmd/mccio-loadgen",
+}
 
 // TestExportedIdentifiersDocumented parses each audited package and
 // fails for every exported type, function, method, const, or var

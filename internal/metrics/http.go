@@ -1,8 +1,11 @@
 package metrics
 
 import (
+	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"time"
 )
 
 // Handler serves the registry in Prometheus text format on every GET.
@@ -15,21 +18,89 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// Serve binds addr and serves GET /metrics (and /metrics.json for the
-// JSON snapshot) in a background goroutine. It returns the bound
-// listener so callers can report the actual address (addr may use port
-// 0) and close it to stop serving.
-func Serve(addr string, r *Registry) (net.Listener, error) {
+// JSONHandler serves the registry's JSON snapshot — the /metrics.json
+// exposition scripts and CI gates consume with jq. Nil-safe like
+// Handler.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}
+
+// NewMux returns a mux with the two exposition endpoints mounted:
+// /metrics (Prometheus text) and /metrics.json (JSON snapshot).
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	return mux
+}
+
+// NewServer wraps a handler in an http.Server with the exposition
+// timeouts set: ReadHeaderTimeout so a stalled client cannot pin a
+// connection in header-read forever, IdleTimeout so keep-alive
+// connections are reaped. Every HTTP listener in this repo — the
+// one-shot exposition endpoints and the plan-serving daemon — goes
+// through this constructor so none is deployed without timeouts.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// Exposition is a live metrics endpoint started by StartExposition —
+// the shared "-serve" wiring of mccio-sim and mccio-bench.
+type Exposition struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartExposition binds addr, serves /metrics and /metrics.json in a
+// background goroutine (with the NewServer timeouts), and logs the
+// scrape URL to logw (when non-nil) using the bound address, so ":0"
+// reports the actual port.
+func StartExposition(addr string, r *Registry, logw io.Writer) (*Exposition, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(r))
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		r.WriteJSON(w)
-	})
-	go http.Serve(ln, mux)
-	return ln, nil
+	srv := NewServer(NewMux(r))
+	go srv.Serve(ln)
+	if logw != nil {
+		fmt.Fprintf(logw, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+	return &Exposition{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (e *Exposition) Addr() net.Addr { return e.ln.Addr() }
+
+// Close stops serving and releases the listener.
+func (e *Exposition) Close() error { return e.srv.Close() }
+
+// Block logs msg to logw (when non-nil) and blocks forever — the
+// tail of a "-serve" run that keeps the endpoint scrapable after the
+// work finishes, until the process is interrupted.
+func (e *Exposition) Block(logw io.Writer, msg string) {
+	if logw != nil {
+		fmt.Fprintln(logw, msg)
+	}
+	select {}
+}
+
+// Serve binds addr and serves GET /metrics (and /metrics.json for the
+// JSON snapshot) in a background goroutine. It returns the bound
+// listener so callers can report the actual address (addr may use port
+// 0) and close it to stop serving. Prefer StartExposition, which also
+// handles the logging; Serve remains for callers that only need the
+// listener.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	e, err := StartExposition(addr, r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.ln, nil
 }

@@ -1,0 +1,85 @@
+package pland
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+)
+
+// RunServeBench is the "serve" benchmark experiment: it starts an
+// in-process daemon on an ephemeral port, drives it with the Zipf load
+// generator, and persists the serving-side result as a trajectory row.
+// The wall-clock fields (throughput, percentiles) are host-dependent,
+// so the row is a capacity record, not a regression baseline; the
+// cache counters in the attached metrics snapshot are what CI asserts
+// on. reg receives both the daemon's metrics and the snapshot; nil
+// creates a private registry.
+func RunServeBench(o bench.Options, reg *metrics.Registry) (*bench.BenchFile, *bench.Table, error) {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if reg == nil {
+		reg = metrics.New()
+	}
+	srv, err := New(Config{Registry: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	spec := LoadSpec{
+		URL:         "http://" + srv.Addr(),
+		Requests:    400,
+		Concurrency: 8,
+		Keys:        24,
+		ZipfS:       1.1,
+		SimEvery:    20,
+		Seed:        o.Seed,
+	}
+	rep, loadErr := RunLoad(spec)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, nil, fmt.Errorf("pland: shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return nil, nil, err
+	}
+	if loadErr != nil {
+		return nil, nil, loadErr
+	}
+	if rep.Errors > 0 {
+		return nil, nil, fmt.Errorf("pland: serve bench saw %d request errors", rep.Errors)
+	}
+
+	snap := reg.Snapshot()
+	file := &bench.BenchFile{
+		Schema: bench.BenchSchemaVersion,
+		Scale:  o.Scale,
+		Seed:   o.Seed,
+		Experiments: []bench.BenchRow{{
+			Key:           fmt.Sprintf("serve/plan keys=%d zipf=%.2f c=%d", spec.Keys, spec.ZipfS, spec.Concurrency),
+			ThroughputRPS: rep.ThroughputRPS,
+			LatP50Ms:      rep.P50Ms,
+			LatP95Ms:      rep.P95Ms,
+			LatP99Ms:      rep.P99Ms,
+			HitRate:       rep.HitRate,
+		}},
+		Metrics: &snap,
+	}
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Plan service (%d requests, %d clients, %d keys, zipf %.2f)", spec.Requests, spec.Concurrency, spec.Keys, spec.ZipfS),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("throughput", fmt.Sprintf("%.1f req/s", rep.ThroughputRPS))
+	t.AddRow("latency p50/p95/p99", fmt.Sprintf("%.2f / %.2f / %.2f ms", rep.P50Ms, rep.P95Ms, rep.P99Ms))
+	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%% (%d hits, %d coalesced, %d misses)", rep.HitRate*100, rep.Hits, rep.Coalesced, rep.Misses))
+	t.AddRow("simulations", fmt.Sprintf("%d", rep.Simulations))
+	t.AddRow("shed", fmt.Sprintf("%d", rep.Shed))
+	return file, t, nil
+}

@@ -1,0 +1,144 @@
+package pland
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// CacheStatus says how a Get was served.
+type CacheStatus int
+
+// Cache outcomes: a hit returns stored bytes, a miss computed them on
+// the calling goroutine, a coalesced get waited for a concurrent miss
+// of the same key (singleflight) and shares its result.
+const (
+	StatusHit CacheStatus = iota
+	StatusMiss
+	StatusCoalesced
+)
+
+// String returns the X-Cache header value for the status.
+func (s CacheStatus) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusMiss:
+		return "miss"
+	case StatusCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// flight is one in-progress computation; waiters block on done and
+// then read val/err, which the leader writes before closing.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// cacheEntry is one stored plan keyed by fingerprint.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// Cache is a fingerprint-keyed LRU of serialized plan responses with
+// request coalescing: concurrent Gets of the same absent key collapse
+// into one computation (singleflight), so a burst of identical
+// requests costs one planner run, and a hit returns the exact bytes
+// the original miss produced — byte-identical responses are the
+// cache's correctness contract. Errors are never cached; every waiter
+// of a failed flight receives the error and the next Get recomputes.
+type Cache struct {
+	capacity int
+
+	mu       sync.Mutex
+	ll       *list.List // *cacheEntry, front = most recent
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, coalesced, evictions *metrics.Counter
+	entries, inflightG                 *metrics.Gauge
+}
+
+// NewCache builds a cache holding up to capacity plans (minimum 1).
+// reg may be nil; the counters and gauges then disable themselves.
+func NewCache(capacity int, reg *metrics.Registry) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+		hits: reg.Counter("mccio_pland_cache_hits_total",
+			"Plan-cache lookups served from a stored entry."),
+		misses: reg.Counter("mccio_pland_cache_misses_total",
+			"Plan-cache lookups that ran the planner."),
+		coalesced: reg.Counter("mccio_pland_cache_coalesced_total",
+			"Plan-cache lookups that waited on a concurrent identical miss."),
+		evictions: reg.Counter("mccio_pland_cache_evictions_total",
+			"Plans evicted by the LRU capacity bound."),
+		entries: reg.Gauge("mccio_pland_cache_entries",
+			"Plans currently stored in the cache."),
+		inflightG: reg.Gauge("mccio_pland_cache_inflight",
+			"Planner computations currently in flight."),
+	}
+}
+
+// Get returns the cached bytes for key, computing them with compute on
+// a miss. Concurrent Gets of the same absent key run compute once; the
+// rest wait and share the leader's result (StatusCoalesced). The
+// returned slice is shared — callers must treat it as read-only.
+func (c *Cache) Get(key string, compute func() ([]byte, error)) ([]byte, CacheStatus, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return el.Value.(*cacheEntry).val, StatusHit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		<-fl.done
+		return fl.val, StatusCoalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	c.inflightG.Add(1)
+	c.misses.Inc()
+
+	val, err := compute()
+	fl.val, fl.err = val, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		for c.ll.Len() > c.capacity {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(*cacheEntry).key)
+			c.evictions.Inc()
+		}
+		c.entries.Set(float64(len(c.items)))
+	}
+	c.mu.Unlock()
+	c.inflightG.Add(-1)
+	close(fl.done)
+	return val, StatusMiss, err
+}
+
+// Len returns the number of stored plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,186 @@
+package pland
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+func TestCacheHitReturnsSameBytes(t *testing.T) {
+	c := NewCache(8, nil)
+	want := []byte("plan-bytes")
+	got, st, err := c.Get("k", func() ([]byte, error) { return want, nil })
+	if err != nil || st != StatusMiss || string(got) != "plan-bytes" {
+		t.Fatalf("miss: got %q status %v err %v", got, st, err)
+	}
+	got2, st2, err := c.Get("k", func() ([]byte, error) {
+		t.Fatal("hit must not recompute")
+		return nil, nil
+	})
+	if err != nil || st2 != StatusHit {
+		t.Fatalf("hit: status %v err %v", st2, err)
+	}
+	if &got[0] != &got2[0] {
+		t.Fatal("hit returned a different byte slice than the miss stored")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(4, nil)
+	var computes atomic.Int64
+	get := func(k string) {
+		c.Get(k, func() ([]byte, error) {
+			computes.Add(1)
+			return []byte(k), nil
+		})
+	}
+	for i := 0; i < 10; i++ {
+		get(fmt.Sprintf("k%d", i))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("capacity 4 holds %d entries", c.Len())
+	}
+	if computes.Load() != 10 {
+		t.Fatalf("10 distinct keys ran the planner %d times", computes.Load())
+	}
+	// k0 was evicted long ago: a re-Get recomputes. k9 is resident.
+	get("k0")
+	if computes.Load() != 11 {
+		t.Fatal("evicted key did not recompute")
+	}
+	get("k9")
+	if computes.Load() != 11 {
+		t.Fatal("resident key recomputed")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(2, nil)
+	var computes atomic.Int64
+	get := func(k string) {
+		c.Get(k, func() ([]byte, error) {
+			computes.Add(1)
+			return []byte(k), nil
+		})
+	}
+	get("a")
+	get("b")
+	get("a") // a is now most recent
+	get("c") // evicts b, not a
+	get("a") // still resident
+	want := int64(3)
+	if computes.Load() != want {
+		t.Fatalf("planner ran %d times, want %d (LRU should have kept a)", computes.Load(), want)
+	}
+	get("b") // was evicted
+	if computes.Load() != want+1 {
+		t.Fatal("evicted b did not recompute")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(4, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.Get("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	got, st, err := c.Get("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || st != StatusMiss || string(got) != "ok" {
+		t.Fatalf("error was cached: %q %v %v", got, st, err)
+	}
+}
+
+// TestCacheSingleflightStress is the -race workhorse: many goroutines
+// hammer a Zipf-skewed key set whose size is under the capacity, so
+// the planner must run exactly once per distinct key touched — every
+// concurrent duplicate either hits or coalesces.
+func TestCacheSingleflightStress(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 300
+		keys       = 12
+	)
+	c := NewCache(64, nil)
+	var computes [keys]atomic.Int64
+	zipf := stats.NewZipf(keys, 1.1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(sweep.Seed(7, g))
+			for i := 0; i < iters; i++ {
+				k := zipf.Sample(rng)
+				key := fmt.Sprintf("key-%d", k)
+				val, _, err := c.Get(key, func() ([]byte, error) {
+					computes[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the coalescing window
+					return []byte(key), nil
+				})
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				if string(val) != key {
+					t.Errorf("get %s returned %q — lost update", key, val)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for k := range computes {
+		if n := computes[k].Load(); n > 1 {
+			t.Errorf("key %d ran the planner %d times — singleflight broken", k, n)
+		} else {
+			total += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("planner never ran")
+	}
+	if c.Len() > keys {
+		t.Fatalf("cache holds %d entries for %d keys", c.Len(), keys)
+	}
+}
+
+// TestCacheEvictionStress races eviction against singleflight: the
+// key space exceeds capacity so entries churn, and the invariants that
+// must hold are bounded size and value integrity — recomputation is
+// expected here, exactly-once is not.
+func TestCacheEvictionStress(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 200
+		keys       = 32
+		capacity   = 8
+	)
+	c := NewCache(capacity, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(sweep.Seed(11, g))
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("key-%d", rng.Intn(keys))
+				val, _, err := c.Get(key, func() ([]byte, error) { return []byte(key), nil })
+				if err != nil || string(val) != key {
+					t.Errorf("get %s: %q %v", key, val, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > capacity {
+		t.Fatalf("cache grew to %d entries past capacity %d", c.Len(), capacity)
+	}
+}

@@ -1,0 +1,162 @@
+package pland
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pfs"
+)
+
+// testRequest builds a valid plan request on a small testbed with the
+// given per-rank layouts.
+func testRequest(ranks [][]Extent) PlanRequest {
+	mc := cluster.TestbedConfig(2)
+	mc.MemPerNode = 16 * cluster.MiB
+	return PlanRequest{Cluster: mc, FS: pfs.DefaultConfig(), Ranks: ranks}
+}
+
+// fp canonicalizes and fingerprints, failing the test on invalid input.
+func fp(t *testing.T, r PlanRequest) string {
+	t.Helper()
+	c, err := r.canonicalize()
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	return c.Fingerprint()
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	a := testRequest([][]Extent{{{0, 4096}, {8192, 4096}, {65536, 1024}}})
+	b := testRequest([][]Extent{{{65536, 1024}, {0, 4096}, {8192, 4096}}})
+	if fp(t, a) != fp(t, b) {
+		t.Fatal("permuted extent order changed the fingerprint")
+	}
+}
+
+func TestFingerprintSplitInvariant(t *testing.T) {
+	// One 128 KiB run vs the same run split at an arbitrary interior
+	// point vs the same run with an overlapping repaint.
+	whole := testRequest([][]Extent{{{4096, 128 << 10}}})
+	split := testRequest([][]Extent{{{4096, 50000}, {54096, 128<<10 - 50000}}})
+	overlap := testRequest([][]Extent{{{4096, 100 << 10}, {65536, 128<<10 - 61440}}})
+	if fp(t, whole) != fp(t, split) {
+		t.Fatal("splitting a contiguous run changed the fingerprint")
+	}
+	if fp(t, whole) != fp(t, overlap) {
+		t.Fatal("overlapping cover of the same bytes changed the fingerprint")
+	}
+}
+
+func TestFingerprintZeroLenDropped(t *testing.T) {
+	a := testRequest([][]Extent{{{0, 4096}}})
+	b := testRequest([][]Extent{{{0, 4096}, {9999, 0}}})
+	if fp(t, a) != fp(t, b) {
+		t.Fatal("a zero-length extent changed the fingerprint")
+	}
+}
+
+func TestFingerprintDefaultSpelling(t *testing.T) {
+	// nil Options vs the derived defaults spelled out, and MemFloor 0
+	// vs the default Validate fills — all the same request.
+	implicit := testRequest([][]Extent{{{0, 1 << 20}}})
+	explicit := implicit
+	mc, fc := implicit.Cluster, implicit.FS
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(mc, fc)
+	explicit.Options = &opts
+
+	spelled := implicit
+	spelled.Cluster.MemFloor = mc.MemFloor // the filled default
+
+	if fp(t, implicit) != fp(t, explicit) {
+		t.Fatal("spelling out the default options changed the fingerprint")
+	}
+	if fp(t, implicit) != fp(t, spelled) {
+		t.Fatal("spelling out the default MemFloor changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := testRequest([][]Extent{{{0, 4096}}, {{4096, 4096}}})
+	cases := map[string]PlanRequest{
+		"extent length": testRequest([][]Extent{{{0, 8192}}, {{4096, 4096}}}),
+		"extent offset": testRequest([][]Extent{{{512, 4096}}, {{4096, 4096}}}),
+		"rank count":    testRequest([][]Extent{{{0, 4096}}}),
+		"rank swap":     testRequest([][]Extent{{{4096, 4096}}, {{0, 4096}}}),
+	}
+	mem := base
+	mem.Cluster.MemPerNode *= 2
+	cases["platform memory"] = mem
+	opt := base
+	o := core.Options{Msgind: 1 << 20, Msggroup: 1 << 26, Nah: 2, Memmin: 1 << 20}
+	opt.Options = &o
+	cases["options"] = opt
+
+	bfp := fp(t, base)
+	for name, r := range cases {
+		if fp(t, r) == bfp {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintNoCollisions(t *testing.T) {
+	// 10k distinct layouts — distinct offsets, lengths, and rank
+	// structures — must key 10k distinct slots.
+	seen := make(map[string]string, 10000)
+	for i := 0; i < 10000; i++ {
+		off := int64(i) * 512
+		ln := int64(4096 + (i%97)*128)
+		ranks := [][]Extent{{{off, ln}}, {{off + 1<<30, ln + int64(i)}}}
+		if i%3 == 0 {
+			ranks = append(ranks, []Extent{{int64(i) << 16, 8192}})
+		}
+		key := fp(t, testRequest(ranks))
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("layout %d collides with %s on %s", i, prev, key)
+		}
+		seen[key] = fmt.Sprintf("layout %d", i)
+	}
+}
+
+// FuzzFingerprintCanonical checks the canonicalization contract under
+// arbitrary extents: permuting a rank's extent order never changes the
+// fingerprint, and splitting one extent at an interior point never
+// changes it either.
+func FuzzFingerprintCanonical(f *testing.F) {
+	f.Add(int64(0), int64(4096), int64(8192), int64(4096), int64(1024))
+	f.Add(int64(100), int64(1), int64(101), int64(1), int64(0))
+	f.Add(int64(1<<40), int64(1<<20), int64(0), int64(0), int64(1<<19))
+	f.Fuzz(func(t *testing.T, off1, len1, off2, len2, split int64) {
+		clamp := func(v, hi int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 || v > hi { // -MinInt64 stays negative
+				return hi
+			}
+			return v
+		}
+		off1, len1 = clamp(off1, 1<<45), clamp(len1, 1<<30)
+		off2, len2 = clamp(off2, 1<<45), clamp(len2, 1<<30)
+		e1, e2 := Extent{off1, len1}, Extent{off2, len2}
+
+		a := fp(t, testRequest([][]Extent{{e1, e2}}))
+		b := fp(t, testRequest([][]Extent{{e2, e1}}))
+		if a != b {
+			t.Fatalf("permutation changed fingerprint: %v %v", e1, e2)
+		}
+		if len1 >= 2 {
+			cut := 1 + clamp(split, len1-2)
+			parts := []Extent{{off1, cut}, {off1 + cut, len1 - cut}, e2}
+			c := fp(t, testRequest([][]Extent{parts}))
+			if a != c {
+				t.Fatalf("split at %d changed fingerprint: %v %v", cut, e1, e2)
+			}
+		}
+	})
+}

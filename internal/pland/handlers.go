@@ -1,0 +1,377 @@
+package pland
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/collio"
+	"repro/internal/core"
+	"repro/internal/iolib"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// maxBodyBytes bounds a request body; a layout bigger than this is a
+// client error, not a reason to exhaust the daemon's memory.
+const maxBodyBytes = 32 << 20
+
+// errShed marks a request refused by admission control.
+var errShed = errors.New("pland: admission queue full")
+
+// PlanDomain is one aggregator's file domain in a plan response.
+type PlanDomain struct {
+	// Agg is the aggregator's group-relative rank.
+	Agg int `json:"agg"`
+	// Node is the physical node hosting the aggregator.
+	Node int `json:"node"`
+	// Lo and Hi bound the domain's file extent (half-open).
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	// DataBytes is the requested data covered inside the domain.
+	DataBytes int64 `json:"data_bytes"`
+	// BufBytes is the aggregation buffer charged on the node.
+	BufBytes int64 `json:"buf_bytes"`
+}
+
+// PlanGroup is one aggregation group's slice of a plan response.
+type PlanGroup struct {
+	// First and Last bound the group's rank range (inclusive).
+	First int `json:"first"`
+	Last  int `json:"last"`
+	// Nodes is the number of physical nodes the group spans.
+	Nodes int `json:"nodes"`
+	// Bytes is the group members' total requested data.
+	Bytes int64 `json:"bytes"`
+	// CoverageBytes is the group's aggregate coverage (union of
+	// requests).
+	CoverageBytes int64 `json:"coverage_bytes"`
+	// Remerges counts workload-portion remerges placement performed.
+	Remerges int `json:"remerges"`
+	// Domains lists the group's file domains in partition-tree order.
+	Domains []PlanDomain `json:"domains"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan: the resolved
+// tunables and the full aggregation plan. Serialization is
+// deterministic (structs only, no maps), which is what lets the cache
+// promise byte-identical responses.
+type PlanResponse struct {
+	// Fingerprint is the canonical request key the plan is cached
+	// under.
+	Fingerprint string `json:"fingerprint"`
+	// Ranks echoes the request's rank count.
+	Ranks int `json:"ranks"`
+	// TotalBytes is the layout's total requested data.
+	TotalBytes int64 `json:"total_bytes"`
+	// Options are the resolved MCCIO tunables the plan was built with.
+	Options core.Options `json:"options"`
+	// Groups is the aggregation-group division with per-group domains.
+	Groups []PlanGroup `json:"groups"`
+	// Aggregators is the total aggregator count across groups.
+	Aggregators int `json:"aggregators"`
+	// Remerges is the total remerge count across groups.
+	Remerges int `json:"remerges"`
+}
+
+// SimResponse is the body of a successful POST /v1/simulate: the
+// engine's global result plus the top-level phase breakdown.
+type SimResponse struct {
+	// Fingerprint is the canonical key of the embedded plan request.
+	Fingerprint string `json:"fingerprint"`
+	// Strategy and Op echo what ran.
+	Strategy string `json:"strategy"`
+	Op       string `json:"op"`
+	// BandwidthMBps is application bandwidth in MB/s.
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	// Elapsed is the collective's virtual elapsed seconds.
+	Elapsed float64 `json:"elapsed_s"`
+	// Bytes is the data moved by the collective.
+	Bytes int64 `json:"bytes"`
+	// Rounds, Aggregators, Groups, Remerges summarize the schedule.
+	Rounds      int `json:"rounds"`
+	Aggregators int `json:"aggregators"`
+	Groups      int `json:"groups"`
+	Remerges    int `json:"remerges"`
+	// Phases maps each top-level pipeline phase to its summed virtual
+	// seconds across ranks.
+	Phases map[string]float64 `json:"phases"`
+}
+
+// errorResponse is the JSON error body for non-2xx answers.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSONError answers with a JSON error body and the given status.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// observe finishes a request's bookkeeping: latency histogram and the
+// per-endpoint/code counter.
+func (s *Server) observe(endpoint string, code int, start time.Time) {
+	s.requests(endpoint, fmt.Sprintf("%d", code)).Inc()
+	s.latency(endpoint).Observe(time.Since(start).Seconds())
+	s.queueGa.Set(float64(s.pool.Queued()))
+	s.activeGa.Set(float64(s.pool.Active()))
+}
+
+// handlePlan serves POST /v1/plan: canonicalize, fingerprint, then
+// cache-hit or compute. Hits and coalesced waits bypass admission;
+// only the planner run of a miss occupies a pool slot.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		s.observe("plan", http.StatusMethodNotAllowed, start)
+		return
+	}
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.observe("plan", http.StatusBadRequest, start)
+		return
+	}
+	canon, err := req.canonicalize()
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		s.observe("plan", http.StatusBadRequest, start)
+		return
+	}
+	fp := canon.Fingerprint()
+	sp := s.tracer.Begin(PhaseServePlan, obs.NoLoc)
+
+	body, status, err := s.cache.Get(fp, func() ([]byte, error) {
+		return s.admitPlan(canon, fp)
+	})
+	sp.EndBytes(int64(len(body)), int64(len(canon.Views)))
+	switch {
+	case errors.Is(err, errShed):
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		s.observe("plan", http.StatusTooManyRequests, start)
+		return
+	case err != nil:
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		s.observe("plan", http.StatusUnprocessableEntity, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", status.String())
+	w.Header().Set("X-Fingerprint", fp)
+	w.Write(body)
+	s.observe("plan", http.StatusOK, start)
+}
+
+// admitPlan runs the planner through admission control: the job takes
+// a pool slot (shedding with errShed when the backlog is full) and the
+// calling handler goroutine waits for its result.
+func (s *Server) admitPlan(canon *canonRequest, fp string) ([]byte, error) {
+	type out struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan out, 1)
+	admitted := s.pool.TrySubmit(func() {
+		if s.testHooks.planStarted != nil {
+			s.testHooks.planStarted()
+		}
+		body, err := buildPlanJSON(canon, fp)
+		if err == nil {
+			s.planRuns.Inc()
+		}
+		ch <- out{body, err}
+	})
+	if !admitted {
+		return nil, errShed
+	}
+	o := <-ch
+	return o.body, o.err
+}
+
+// buildPlanJSON runs the offline planner (core.MCCIO.Inspect) on a
+// fresh machine built from the canonical request and serializes the
+// resulting plan. A planner panic (hostile-but-validated input hitting
+// an internal invariant) is converted to an error so one request
+// cannot take the daemon down.
+func buildPlanJSON(c *canonRequest, fp string) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("pland: planner failed: %v", p)
+		}
+	}()
+	machine, err := cluster.New(c.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	mc := core.MCCIO{Opts: c.Options}
+	ir, err := mc.Inspect(machine, c.Views)
+	if err != nil {
+		return nil, err
+	}
+	resp := PlanResponse{Fingerprint: fp, Ranks: len(c.Views), Options: c.Options}
+	for _, v := range c.Views {
+		resp.TotalBytes += v.TotalBytes()
+	}
+	for _, gp := range ir.Plans {
+		pg := PlanGroup{
+			First:         gp.Group.First,
+			Last:          gp.Group.Last,
+			Nodes:         gp.Group.Nodes,
+			Bytes:         gp.Group.Bytes,
+			CoverageBytes: gp.Coverage.TotalBytes(),
+			Remerges:      gp.Remerges,
+		}
+		for _, pl := range gp.Placements {
+			pg.Domains = append(pg.Domains, PlanDomain{
+				Agg:       pl.Agg,
+				Node:      gp.NodeOfRank[pl.Agg],
+				Lo:        pl.Leaf.Lo,
+				Hi:        pl.Leaf.Hi,
+				DataBytes: pl.Leaf.DataBytes,
+				BufBytes:  pl.Buf,
+			})
+		}
+		resp.Aggregators += len(gp.Placements)
+		resp.Remerges += gp.Remerges
+		resp.Groups = append(resp.Groups, pg)
+	}
+	body, err = json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// handleSimulate serves POST /v1/simulate: every simulation goes
+// through admission control (simulations are the expensive requests),
+// runs the collio engine on the request's platform and layout, and
+// answers with the result plus phase breakdown.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		s.observe("simulate", http.StatusMethodNotAllowed, start)
+		return
+	}
+	var req SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.observe("simulate", http.StatusBadRequest, start)
+		return
+	}
+	op, strategy, err := req.validateSim()
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		s.observe("simulate", http.StatusBadRequest, start)
+		return
+	}
+	canon, err := req.canonicalize()
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		s.observe("simulate", http.StatusBadRequest, start)
+		return
+	}
+	fp := canon.Fingerprint()
+	sp := s.tracer.Begin(PhaseServeSimulate, obs.NoLoc)
+
+	type out struct {
+		resp *SimResponse
+		err  error
+	}
+	ch := make(chan out, 1)
+	admitted := s.pool.TrySubmit(func() {
+		resp, err := runSimulation(canon, fp, op, strategy)
+		if err == nil {
+			s.simRuns.Inc()
+		}
+		ch <- out{resp, err}
+	})
+	if !admitted {
+		sp.End()
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, errShed.Error())
+		s.observe("simulate", http.StatusTooManyRequests, start)
+		return
+	}
+	o := <-ch
+	sp.End()
+	if o.err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, o.err.Error())
+		s.observe("simulate", http.StatusUnprocessableEntity, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Fingerprint", fp)
+	json.NewEncoder(w).Encode(o.resp)
+	s.observe("simulate", http.StatusOK, start)
+}
+
+// runSimulation executes one collective through bench.RunOnce with a
+// per-run tracer and folds the phase summary into the response.
+func runSimulation(c *canonRequest, fp, op, strategy string) (resp *SimResponse, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("pland: simulation failed: %v", p)
+		}
+	}()
+	var strat iolib.Collective
+	switch strategy {
+	case "two-phase":
+		strat = collio.TwoPhase{CBBuffer: c.Cluster.MemPerNode}
+	default:
+		strat = core.MCCIO{Opts: c.Options}
+	}
+	res, sum, err := bench.RunOncePhases(bench.Spec{
+		Strategy: strat,
+		Op:       op,
+		Machine:  c.Cluster,
+		FS:       c.FS,
+		Workload: workload.Explicit{Label: "plan-service", Views: c.Views},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResponse{
+		Fingerprint:   fp,
+		Strategy:      strategy,
+		Op:            op,
+		BandwidthMBps: res.BandwidthMBps(),
+		Elapsed:       res.Elapsed,
+		Bytes:         res.Bytes,
+		Rounds:        res.Rounds,
+		Aggregators:   res.Aggregators,
+		Groups:        res.Groups,
+		Remerges:      res.Remerges,
+		Phases:        make(map[string]float64),
+	}
+	for ph, tot := range sum.Phases {
+		if ph.TopLevel() {
+			out.Phases[string(ph)] = tot.Seconds
+		}
+	}
+	return out, nil
+}
+
+// handleHealth serves GET /healthz: 200 while accepting, 503 once the
+// daemon starts draining — the signal a load balancer needs to stop
+// routing before connections are refused.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

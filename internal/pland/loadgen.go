@@ -1,0 +1,238 @@
+package pland
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/pfs"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// LoadSpec drives RunLoad: a closed-loop load generator where
+// Concurrency clients each issue requests back-to-back. The first Keys
+// requests sweep every layout once (a deterministic warm pass); after
+// that, which layout to ask for is drawn from a Zipf(ZipfS) popularity
+// distribution — the skew that makes a plan cache worth having.
+type LoadSpec struct {
+	// URL is the daemon's base URL, e.g. "http://127.0.0.1:9100".
+	URL string
+	// Requests is the total request count; <= 0 means 200.
+	Requests int
+	// Concurrency is the closed-loop client count; <= 0 means 8.
+	Concurrency int
+	// Keys is the number of distinct request layouts; <= 0 means 32.
+	Keys int
+	// ZipfS is the popularity skew (0 = uniform); < 0 means 1.1.
+	ZipfS float64
+	// Ranks is the per-request rank count; <= 0 means 16.
+	Ranks int
+	// Nodes sizes the generated platform; <= 0 means 4.
+	Nodes int
+	// SimEvery routes every Nth request to /v1/simulate instead of
+	// /v1/plan; 0 means plans only.
+	SimEvery int
+	// Seed derives each client's RNG; 0 means 1.
+	Seed uint64
+}
+
+// LoadReport is RunLoad's result. The JSON field names are part of the
+// CI contract: the serve-smoke job asserts on them with jq.
+type LoadReport struct {
+	Requests    int `json:"requests"`
+	Errors      int `json:"errors"`
+	Shed        int `json:"shed"`
+	Hits        int `json:"hits"`
+	Misses      int `json:"misses"`
+	Coalesced   int `json:"coalesced"`
+	Simulations int `json:"simulations"`
+	// ElapsedS is the wall-clock run duration in seconds.
+	ElapsedS float64 `json:"elapsed_s"`
+	// ThroughputRPS is completed requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency percentiles over all completed requests, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// HitRate is (hits+coalesced) / plan lookups — the fraction of
+	// plan requests that did not run the planner.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// withDefaults fills the spec's zero values.
+func (s LoadSpec) withDefaults() LoadSpec {
+	if s.Requests <= 0 {
+		s.Requests = 200
+	}
+	if s.Concurrency <= 0 {
+		s.Concurrency = 8
+	}
+	if s.Keys <= 0 {
+		s.Keys = 32
+	}
+	if s.ZipfS < 0 {
+		s.ZipfS = 1.1
+	}
+	if s.Ranks <= 0 {
+		s.Ranks = 16
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// loadBodies precomputes one plan body and one simulate body per key.
+// Key k's layout is an IOR-style interleave whose block size depends on
+// k, so distinct keys fingerprint distinctly while every body stays
+// cheap to plan.
+func loadBodies(s LoadSpec) (plan, sim [][]byte, err error) {
+	mc := cluster.TestbedConfig(s.Nodes)
+	mc.MemPerNode = 64 * cluster.MiB
+	fc := pfs.DefaultConfig()
+	if s.Ranks > s.Nodes*mc.CoresPerNode {
+		return nil, nil, fmt.Errorf("pland: %d ranks exceed the %d-node machine", s.Ranks, s.Nodes)
+	}
+	plan = make([][]byte, s.Keys)
+	sim = make([][]byte, s.Keys)
+	for k := 0; k < s.Keys; k++ {
+		block := int64(64<<10 + k*4096)
+		ranks := make([][]Extent, s.Ranks)
+		for i := range ranks {
+			for seg := int64(0); seg < 2; seg++ {
+				off := (seg*int64(s.Ranks) + int64(i)) * block
+				ranks[i] = append(ranks[i], Extent{Off: off, Len: block})
+			}
+		}
+		req := PlanRequest{Cluster: mc, FS: fc, Ranks: ranks}
+		if plan[k], err = json.Marshal(req); err != nil {
+			return nil, nil, err
+		}
+		if sim[k], err = json.Marshal(SimRequest{PlanRequest: req, Op: "write"}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return plan, sim, nil
+}
+
+// loadCounts is one client's tally, merged after the run.
+type loadCounts struct {
+	errors, shed, hits, misses, coalesced, sims int
+	latencies                                   []float64 // seconds
+}
+
+// RunLoad drives the daemon with spec and reports throughput, latency
+// percentiles, and cache behavior as observed from the client side
+// (X-Cache headers). It is the engine behind cmd/mccio-loadgen and the
+// serve benchmark experiment.
+func RunLoad(spec LoadSpec) (*LoadReport, error) {
+	spec = spec.withDefaults()
+	planBodies, simBodies, err := loadBodies(spec)
+	if err != nil {
+		return nil, err
+	}
+	zipf := stats.NewZipf(spec.Keys, spec.ZipfS)
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        spec.Concurrency * 2,
+			MaxIdleConnsPerHost: spec.Concurrency * 2,
+		},
+	}
+	planURL := spec.URL + "/v1/plan"
+	simURL := spec.URL + "/v1/simulate"
+
+	var next atomic.Int64
+	counts := make([]loadCounts, spec.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(sweep.Seed(spec.Seed, w))
+			tally := &counts[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= spec.Requests {
+					return
+				}
+				// The first Keys requests sweep every layout once — a
+				// deterministic warm pass, so the planner runs exactly
+				// once per key regardless of the Zipf tail — then the
+				// skewed phase begins.
+				key := i
+				if i >= spec.Keys {
+					key = zipf.Sample(rng)
+				}
+				url, body := planURL, planBodies[key]
+				isSim := spec.SimEvery > 0 && i >= spec.Keys && i%spec.SimEvery == 0
+				if isSim {
+					url, body = simURL, simBodies[key]
+					tally.sims++
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					tally.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tally.latencies = append(tally.latencies, time.Since(t0).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					tally.shed++
+				case resp.StatusCode != http.StatusOK:
+					tally.errors++
+				case !isSim:
+					switch resp.Header.Get("X-Cache") {
+					case "hit":
+						tally.hits++
+					case "coalesced":
+						tally.coalesced++
+					default:
+						tally.misses++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &LoadReport{Requests: spec.Requests, ElapsedS: elapsed}
+	var lats []float64
+	for i := range counts {
+		c := &counts[i]
+		rep.Errors += c.errors
+		rep.Shed += c.shed
+		rep.Hits += c.hits
+		rep.Misses += c.misses
+		rep.Coalesced += c.coalesced
+		rep.Simulations += c.sims
+		lats = append(lats, c.latencies...)
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(len(lats)) / elapsed
+	}
+	sort.Float64s(lats)
+	rep.P50Ms = stats.Percentile(lats, 50) * 1e3
+	rep.P95Ms = stats.Percentile(lats, 95) * 1e3
+	rep.P99Ms = stats.Percentile(lats, 99) * 1e3
+	if lookups := rep.Hits + rep.Misses + rep.Coalesced; lookups > 0 {
+		rep.HitRate = float64(rep.Hits+rep.Coalesced) / float64(lookups)
+	}
+	return rep, nil
+}

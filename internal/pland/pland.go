@@ -1,0 +1,204 @@
+// Package pland is the plan-serving daemon: it turns the MCCIO
+// planner (group division, partition tree, remerging, memory-aware
+// aggregator placement) from a per-run library call into a cached,
+// concurrent, observable network service.
+//
+// On a real extreme-scale machine the same (platform, memory vector,
+// request layout) shape recurs across timesteps and across jobs, so
+// the daemon keys each request by a canonical fingerprint — defaults
+// filled, tunables resolved, per-rank layouts normalized — and serves
+// repeats from a fingerprinted LRU cache. Concurrent identical misses
+// collapse into one planner run (singleflight), and a cache hit
+// returns the exact bytes the original miss produced.
+//
+// The endpoints:
+//
+//	POST /v1/plan      compute or cache-hit an aggregation plan
+//	POST /v1/simulate  run the request through the collio engine
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /metrics.json JSON snapshot of the same registry
+//
+// Admission control bounds the planner and simulator work: a
+// sweep.Pool of workers with a bounded backlog executes plan misses
+// and simulations, and when the backlog is full the daemon sheds the
+// request with 429 + Retry-After instead of queueing without bound.
+// Cache hits bypass admission, so known shapes stay served even under
+// overload. SIGTERM (cmd/mccio-pland) drains gracefully: in-flight
+// requests finish, new ones are refused, and the process exits 0.
+package pland
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Config sizes the daemon. The zero value serves on an ephemeral
+// localhost port with defaults suitable for tests.
+type Config struct {
+	// Addr is the listen address; empty means "127.0.0.1:0".
+	Addr string
+	// CacheCapacity is the plan cache's entry bound; <= 0 means 1024.
+	CacheCapacity int
+	// Workers bounds concurrently executing planner/simulator jobs;
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// Queue bounds the admission backlog beyond the in-flight jobs.
+	// 0 means the default of 64; pass a negative value for no backlog
+	// at all (admit only what a worker can start immediately).
+	Queue int
+	// Registry receives the daemon's metrics; nil creates one.
+	Registry *metrics.Registry
+	// Tracer, when non-nil, records one server-side span per request
+	// (phases "serve.plan" and "serve.simulate") on a wall-clock
+	// timeline, so mccio-report summarize can break server time down.
+	Tracer *obs.Tracer
+}
+
+// Server-side trace phases: one span per request, stamped with
+// wall-clock seconds since the daemon started.
+const (
+	PhaseServePlan     obs.Phase = "serve.plan"
+	PhaseServeSimulate obs.Phase = "serve.simulate"
+)
+
+// Server is a running plan-serving daemon.
+type Server struct {
+	cfg    Config
+	reg    *metrics.Registry
+	tracer *obs.Tracer
+	cache  *Cache
+	pool   *sweep.Pool
+	ln     net.Listener
+	http   *http.Server
+
+	drainOnce sync.Once
+	draining  chan struct{} // closed when Shutdown begins
+
+	requests  func(endpoint, code string) *metrics.Counter
+	latency   func(endpoint string) *metrics.Histogram
+	shed      *metrics.Counter
+	planRuns  *metrics.Counter
+	simRuns   *metrics.Counter
+	queueGa   *metrics.Gauge
+	activeGa  *metrics.Gauge
+	testHooks struct {
+		// planStarted, when non-nil, is invoked at the start of every
+		// admitted planner job — tests use it to hold a worker busy.
+		planStarted func()
+	}
+}
+
+// New binds the listen address and builds the daemon; call Serve to
+// start answering. The returned server's Addr reports the actual
+// address, so Addr ":0" works for tests and in-process benches.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 64
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		tracer:   cfg.Tracer,
+		cache:    NewCache(cfg.CacheCapacity, reg),
+		pool:     sweep.NewPool(cfg.Workers, cfg.Queue),
+		draining: make(chan struct{}),
+		shed: reg.Counter("mccio_pland_shed_total",
+			"Requests shed with 429 because the admission backlog was full."),
+		planRuns: reg.Counter("mccio_pland_planner_runs_total",
+			"Planner executions (cache misses that ran to completion)."),
+		simRuns: reg.Counter("mccio_pland_simulations_total",
+			"Simulations executed by /v1/simulate."),
+		queueGa: reg.Gauge("mccio_pland_queue_depth",
+			"Admitted jobs waiting for a worker, sampled per request."),
+		activeGa: reg.Gauge("mccio_pland_active_jobs",
+			"Jobs currently executing, sampled per request."),
+	}
+	s.requests = func(endpoint, code string) *metrics.Counter {
+		return reg.Counter("mccio_pland_requests_total",
+			"Requests served, by endpoint and status code.",
+			"endpoint", endpoint, "code", code)
+	}
+	s.latency = func(endpoint string) *metrics.Histogram {
+		return reg.Histogram("mccio_pland_request_seconds",
+			"Wall-clock request latency by endpoint.",
+			metrics.DefSecondsBuckets(), "endpoint", endpoint)
+	}
+	if s.tracer != nil {
+		start := time.Now()
+		s.tracer.SetClock(func() float64 { return time.Since(start).Seconds() })
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/metrics.json", metrics.JSONHandler(reg))
+	s.http = metrics.NewServer(mux)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry returns the daemon's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Serve answers requests until Shutdown; it returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	err := s.http.Serve(s.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon: /healthz flips to 503, the listener
+// stops accepting, in-flight requests (and the pool jobs they wait on)
+// finish, and admission closes. It returns nil when everything
+// completed before ctx expired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return s.pool.Drain(ctx)
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,131 @@
+package pland
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/pfs"
+)
+
+// Extent is one file run of a rank's request layout on the wire:
+// Len bytes starting at byte Off.
+type Extent struct {
+	Off int64 `json:"off"`
+	Len int64 `json:"len"`
+}
+
+// PlanRequest is the body of POST /v1/plan: the platform (compute and
+// storage configuration), optional MCCIO tunables, and the per-rank
+// request layout the plan is for. Omitted Options are derived from the
+// platform with core.DefaultOptions — the paper's calibration — so a
+// request that says nothing about tunables and one that spells the
+// derived defaults out fingerprint identically.
+type PlanRequest struct {
+	// Cluster describes the compute platform. Zero-valued optional
+	// fields (MemFloor) are filled with the same defaults the simulator
+	// uses before fingerprinting.
+	Cluster cluster.Config `json:"cluster"`
+	// FS describes the storage system.
+	FS pfs.Config `json:"fs"`
+	// Options are the MCCIO tunables; nil derives them from the
+	// platform.
+	Options *core.Options `json:"options,omitempty"`
+	// Ranks holds one extent list per rank — the request layout.
+	// Extents may arrive unsorted, overlapping, or split at arbitrary
+	// points; canonicalization normalizes them, so semantically
+	// identical layouts key the same cache slot.
+	Ranks [][]Extent `json:"ranks"`
+}
+
+// SimRequest is the body of POST /v1/simulate: a plan request plus the
+// operation and strategy to run through the collective I/O engine.
+type SimRequest struct {
+	PlanRequest
+	// Op is "write" or "read"; empty means "write".
+	Op string `json:"op,omitempty"`
+	// Strategy is "mccio" or "two-phase"; empty means "mccio". The
+	// two-phase baseline uses Cluster.MemPerNode as its collective
+	// buffer.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// canonRequest is a plan request after canonicalization: defaults
+// filled, options resolved, every rank's layout normalized. Two
+// requests that mean the same thing canonicalize to equal values, and
+// the fingerprint is computed over this form only.
+type canonRequest struct {
+	Cluster cluster.Config
+	FS      pfs.Config
+	Options core.Options
+	Views   []datatype.List
+}
+
+// maxRequestRanks bounds the per-request rank count so a hostile body
+// cannot make the planner allocate per-rank state without limit.
+const maxRequestRanks = 1 << 16
+
+// canonicalize validates the request and reduces it to canonical form.
+// Errors are client errors (the server answers 400): they describe
+// what is wrong with the request, never internal state.
+func (r *PlanRequest) canonicalize() (*canonRequest, error) {
+	if len(r.Ranks) == 0 {
+		return nil, fmt.Errorf("pland: request has no ranks")
+	}
+	if len(r.Ranks) > maxRequestRanks {
+		return nil, fmt.Errorf("pland: %d ranks exceeds the per-request limit of %d", len(r.Ranks), maxRequestRanks)
+	}
+	c := &canonRequest{Cluster: r.Cluster, FS: r.FS}
+	if err := c.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(r.Ranks) > c.Cluster.Nodes*c.Cluster.CoresPerNode {
+		return nil, fmt.Errorf("pland: %d ranks on a machine of %d", len(r.Ranks), c.Cluster.Nodes*c.Cluster.CoresPerNode)
+	}
+	if err := c.FS.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Options != nil {
+		c.Options = *r.Options
+	} else {
+		c.Options = core.DefaultOptions(c.Cluster, c.FS)
+	}
+	if err := c.Options.Validate(); err != nil {
+		return nil, err
+	}
+	c.Views = make([]datatype.List, len(r.Ranks))
+	for i, exts := range r.Ranks {
+		segs := make([]datatype.Segment, 0, len(exts))
+		for _, e := range exts {
+			if e.Off < 0 || e.Len < 0 {
+				return nil, fmt.Errorf("pland: rank %d extent [%d,+%d) is negative", i, e.Off, e.Len)
+			}
+			if e.Len > 0 && e.Off > 1<<62-e.Len {
+				return nil, fmt.Errorf("pland: rank %d extent [%d,+%d) overflows", i, e.Off, e.Len)
+			}
+			segs = append(segs, datatype.Segment{Off: e.Off, Len: e.Len})
+		}
+		c.Views[i] = datatype.Normalize(segs)
+	}
+	return c, nil
+}
+
+// validateSim checks the simulate-only fields and returns the resolved
+// op and strategy names.
+func (r *SimRequest) validateSim() (op, strategy string, err error) {
+	op, strategy = r.Op, r.Strategy
+	if op == "" {
+		op = "write"
+	}
+	if strategy == "" {
+		strategy = "mccio"
+	}
+	if op != "write" && op != "read" {
+		return "", "", fmt.Errorf("pland: unknown op %q (want write or read)", r.Op)
+	}
+	if strategy != "mccio" && strategy != "two-phase" {
+		return "", "", fmt.Errorf("pland: unknown strategy %q (want mccio or two-phase)", r.Strategy)
+	}
+	return op, strategy, nil
+}

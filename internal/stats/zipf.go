@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(k+1)^s — the skewed popularity distribution of repeated
+// collective-I/O shapes across timesteps and jobs, which the plan
+// service's load generator uses to model cache-friendly traffic.
+// s = 0 degenerates to uniform; larger s concentrates mass on the
+// lowest ranks. The sampler precomputes the CDF once, so a draw is a
+// uniform variate plus a binary search.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics on
+// n <= 0 or negative s (a misconfigured generator, not a data error).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Zipf over %d ranks", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: Zipf exponent %g", s))
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one rank using r's uniform stream.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -1,0 +1,58 @@
+package stats
+
+import "testing"
+
+// TestZipfSkew checks the defining property: rank 0 is drawn more
+// often than rank n-1, monotonically so for the head of the
+// distribution, and every draw is in range.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 16, 200000
+	z := NewZipf(n, 1.1)
+	r := NewRNG(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Sample(r)
+		if k < 0 || k >= n {
+			t.Fatalf("sample %d out of [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[n-1]*2 {
+		t.Fatalf("rank 0 drawn %d times, rank %d %d times: not skewed", counts[0], n-1, counts[n-1])
+	}
+	for k := 0; k < 4; k++ {
+		if counts[k] < counts[k+1] {
+			t.Fatalf("head not monotone: counts[%d]=%d < counts[%d]=%d", k, counts[k], k+1, counts[k+1])
+		}
+	}
+}
+
+// TestZipfUniform checks that s=0 degenerates to (roughly) uniform.
+func TestZipfUniform(t *testing.T) {
+	const n, draws = 8, 80000
+	z := NewZipf(n, 0)
+	r := NewRNG(11)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	want := draws / n
+	for k, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("rank %d drawn %d times, want about %d", k, c, want)
+		}
+	}
+}
+
+// TestZipfDeterministic checks that the same seed yields the same
+// draw sequence — the property the load generator's reproducibility
+// rests on.
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(32, 1.3)
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Sample(a), z.Sample(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

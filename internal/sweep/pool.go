@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the serving-side counterpart of Sweep: a long-lived bounded
+// worker pool with a bounded admission queue. Where Sweep fans a fixed
+// grid of rows out and returns, a Pool accepts work for the lifetime of
+// a server and answers "no" when full instead of queueing without
+// bound — the load-shedding admission control the plan service needs
+// to stay responsive under overload.
+//
+// Admission is slot-counted: Workers jobs may execute concurrently and
+// Queue more may wait, so exactly Workers+Queue jobs can be outstanding
+// at once. TrySubmit never blocks; when every slot is taken (or the
+// pool is draining) it reports false and the caller sheds the request.
+// Drain closes admission, lets every accepted job finish, and
+// returns — the SIGTERM path.
+type Pool struct {
+	jobs chan func()
+
+	mu     sync.Mutex
+	closed bool
+	slots  int // admission slots remaining; a job holds one until it finishes
+
+	wg     sync.WaitGroup
+	queued atomic.Int64
+	active atomic.Int64
+}
+
+// NewPool starts a pool of workers goroutines with a backlog of queue
+// jobs. workers <= 0 means runtime.GOMAXPROCS(0); queue <= 0 means no
+// backlog (only in-flight slots admit work).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	// The channel buffer equals the slot count, so an admitted job's
+	// send can never block.
+	p := &Pool{jobs: make(chan func(), workers+queue), slots: workers + queue}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.queued.Add(-1)
+				p.active.Add(1)
+				job()
+				p.active.Add(-1)
+				p.mu.Lock()
+				p.slots++
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers a job to the pool without blocking. It reports
+// false — and does not run the job — when every admission slot is
+// held or the pool is draining; the caller decides how to shed (the
+// plan service answers 429).
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	if p.closed || p.slots == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	p.slots--
+	p.queued.Add(1)
+	p.jobs <- job // buffered to the slot count; cannot block
+	p.mu.Unlock()
+	return true
+}
+
+// Queued returns the number of accepted jobs not yet started.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
+
+// Active returns the number of jobs currently executing.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Drain closes admission (subsequent TrySubmit reports false) and
+// waits until every accepted job has finished, or until ctx expires —
+// in which case the remaining jobs keep running on their goroutines
+// but Drain stops waiting and returns the context's error. Drain is
+// idempotent.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

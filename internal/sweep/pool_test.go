@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsJobs checks that every accepted job executes exactly once.
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		if !p.TrySubmit(func() { ran.Add(1); wg.Done() }) {
+			wg.Done()
+			t.Fatalf("submit %d rejected with a 16-deep queue and 4 workers", i)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d of 20 jobs", got)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPoolShedsWhenFull fills the single worker and the backlog, then
+// checks that the next submit is rejected rather than queued or run.
+func TestPoolShedsWhenFull(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started // worker occupied
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("backlog slot rejected")
+	}
+	if p.TrySubmit(func() { t.Error("shed job must not run") }) {
+		t.Fatal("submit accepted with worker busy and backlog full")
+	}
+	if got := p.Queued(); got != 1 {
+		t.Fatalf("Queued() = %d, want 1", got)
+	}
+	if got := p.Active(); got != 1 {
+		t.Fatalf("Active() = %d, want 1", got)
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPoolDrain checks the shutdown contract: Drain waits for accepted
+// jobs, rejects new ones, and is idempotent.
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	for i := 0; i < 6; i++ {
+		if !p.TrySubmit(func() { time.Sleep(5 * time.Millisecond); ran.Add(1) }) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("drain returned with %d of 6 jobs done", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted after drain")
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestPoolDrainTimeout checks that a stuck job makes Drain return the
+// context error instead of hanging.
+func TestPoolDrainTimeout(t *testing.T) {
+	p := NewPool(1, 0)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("submit rejected")
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); err == nil {
+		t.Fatal("drain returned nil with a job stuck")
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}

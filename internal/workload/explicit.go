@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+)
+
+// Explicit is a workload given directly as per-rank segment lists —
+// the form request layouts arrive in over the plan service's wire API,
+// where a client submits its ranks' offset/length lists instead of
+// naming a generator. Views[r] is rank r's file view; callers that
+// need canonical views (sorted, non-overlapping, adjacent runs merged)
+// should normalize with datatype.Normalize before constructing the
+// workload, as the plan service does during request canonicalization.
+type Explicit struct {
+	// Label names the workload in reports; empty means "explicit".
+	Label string
+	// Views holds one segment list per rank.
+	Views []datatype.List
+}
+
+// Name implements Workload.
+func (w Explicit) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "explicit"
+}
+
+// NumRanks implements Workload.
+func (w Explicit) NumRanks() int { return len(w.Views) }
+
+// View implements Workload.
+func (w Explicit) View(rank int) datatype.List {
+	if rank < 0 || rank >= len(w.Views) {
+		panic(fmt.Sprintf("workload: rank %d out of %d", rank, len(w.Views)))
+	}
+	return w.Views[rank]
+}
+
+// TotalBytes implements Workload.
+func (w Explicit) TotalBytes() int64 {
+	var sum int64
+	for _, v := range w.Views {
+		sum += v.TotalBytes()
+	}
+	return sum
+}
