@@ -6,13 +6,19 @@
 //	mccio-bench -experiment all            # Table 1 + Figures 6,7,8 + ablations
 //	mccio-bench -experiment fig7 -scale 0.25
 //	mccio-bench -experiment fig8 -csv out.csv
+//	mccio-bench -experiment profile -json profile.json
+//	mccio-bench -experiment regression -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -20,18 +26,81 @@ import (
 	"repro/internal/pland"
 )
 
+// stopProfiles finishes any -cpuprofile/-memprofile capture; every
+// exit path must run it because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
+// exit terminates the process after flushing active profiles.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles begins the -cpuprofile capture and arranges the
+// -memprofile snapshot, returning an idempotent stop function.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+				fmt.Fprintf(os.Stderr, "wrote %s\n", cpuPath)
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mccio-bench: memprofile: %v\n", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "mccio-bench: memprofile: %v\n", err)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wrote %s\n", memPath)
+			}
+		})
+	}
+	return stop, nil
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | serve | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | serve | profile | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
-		jsonPath   = flag.String("json", "", "write the regression trajectory (schema-versioned bench JSON) to this file; implies -experiment regression unless one is named")
+		jsonPath   = flag.String("json", "", "write the regression trajectory (schema-versioned bench JSON) to this file; implies -experiment regression unless one is named; with -experiment profile, receives the profile report instead")
 		serveAddr  = flag.String("serve", "", "serve Prometheus metrics on ADDR at /metrics during the runs and keep serving afterwards until interrupted")
+		pprofOn    = flag.Bool("pprof", false, "with -serve, also mount live profiling handlers under /debug/pprof/")
+		topN       = flag.Int("top", 15, "sites per table for -experiment profile")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
 	if !*quiet {
@@ -45,10 +114,14 @@ func main() {
 	var expo *metrics.Exposition
 	if *serveAddr != "" {
 		var err error
-		expo, err = metrics.StartExposition(*serveAddr, reg, os.Stderr)
+		start := metrics.StartExposition
+		if *pprofOn {
+			start = metrics.StartExpositionPprof
+		}
+		expo, err = start(*serveAddr, reg, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -58,7 +131,7 @@ func main() {
 		t, _, err := f(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, t)
 	}
@@ -67,7 +140,7 @@ func main() {
 		t, err := f(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, t)
 	}
@@ -108,7 +181,7 @@ func main() {
 		t, err := bench.Chaos(opts, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: chaos: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, t)
 	}
@@ -117,14 +190,14 @@ func main() {
 		traj, err := bench.RunRegression(opts, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: regression: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, trajectoryTable("Regression", traj))
 		if *jsonPath != "" {
 			traj.Created = time.Now().UTC().Format(time.RFC3339)
 			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
 				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
@@ -137,14 +210,14 @@ func main() {
 		traj, t, err := pland.RunServeBench(opts, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: serve: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, t)
 		if *jsonPath != "" {
 			traj.Created = time.Now().UTC().Format(time.RFC3339)
 			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
 				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
@@ -157,21 +230,51 @@ func main() {
 		traj, err := bench.RunSweep(opts, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: sweep: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables = append(tables, trajectoryTable("Sharded sweep", traj))
 		if *jsonPath != "" {
 			traj.Created = time.Now().UTC().Format(time.RFC3339)
 			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
 				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	}
+	if *experiment == "profile" {
+		// Continuous-profiling harness: the fixed-seed regression
+		// workload runs under the CPU profiler, the allocation profile
+		// is snapshotted, and both decode into top-site tables. Not part
+		// of "all": it re-runs the workload for sampling time, and its
+		// numbers are host-dependent. Incompatible with -cpuprofile
+		// (only one CPU profiler can run).
+		fmt.Fprintf(os.Stderr, "running profile (scale %.3g)...\n", *scale)
+		rep, err := bench.RunProfile(opts, *topN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: profile: %v\n", err)
+			exit(1)
+		}
+		tables = append(tables, rep.Tables()...)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				exit(1)
+			}
+			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
 	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "mccio-bench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		exit(2)
 	}
 
 	for _, t := range tables {
@@ -181,7 +284,7 @@ func main() {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		for _, t := range tables {
 			t.WriteCSV(f)

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/pland"
 )
@@ -49,7 +51,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mccio-loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("requests    %d (%d errors, %d shed)\n", rep.Requests, rep.Errors, rep.Shed)
+	fmt.Printf("requests    %d (%d errors, %d shed, %.2f%% error rate)\n",
+		rep.Requests, rep.Errors, rep.Shed, rep.ErrorRate*100)
+	codes := make([]string, 0, len(rep.StatusCounts))
+	for code := range rep.StatusCounts {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	var parts []string
+	for _, code := range codes {
+		parts = append(parts, fmt.Sprintf("%s=%d", code, rep.StatusCounts[code]))
+	}
+	fmt.Printf("status      %s\n", strings.Join(parts, " "))
 	fmt.Printf("throughput  %.1f req/s over %.2fs\n", rep.ThroughputRPS, rep.ElapsedS)
 	fmt.Printf("latency     p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	fmt.Printf("plan cache  %.1f%% hit rate (%d hits, %d coalesced, %d misses)\n",

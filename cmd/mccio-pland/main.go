@@ -7,11 +7,15 @@
 //	mccio-pland -addr 127.0.0.1:9100
 //	mccio-pland -addr :9100 -cache 4096 -workers 8 -queue 128
 //	mccio-pland -addr :9100 -trace serve.trace.json
+//	mccio-pland -addr :9100 -log requests.jsonl -pprof
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
-// GET /metrics, GET /metrics.json. SIGINT/SIGTERM drains gracefully:
+// GET /metrics, GET /metrics.json, GET /debug/flight, and (with
+// -pprof) GET /debug/pprof/. SIGINT/SIGTERM drains gracefully:
 // in-flight requests finish (up to -drain-timeout) and the process
-// exits 0.
+// exits 0. SIGQUIT dumps the in-memory flight recorder — the last
+// -flight requests plus the slowest and the failures — to stderr as
+// JSONL and keeps serving.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pland"
@@ -38,12 +43,29 @@ func main() {
 		queue     = flag.Int("queue", 64, "admission backlog beyond in-flight jobs (negative = none)")
 		tracePath = flag.String("trace", "", "write server-side request spans to this trace file on exit")
 		drainT    = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
+		logPath   = flag.String("log", "", "write one JSONL record per request to this file (\"-\" = stderr)")
+		flightN   = flag.Int("flight", 256, "flight recorder ring size (last N requests kept in memory)")
+		pprofOn   = flag.Bool("pprof", false, "mount live profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
+	}
+	var logger *logx.Logger
+	if *logPath != "" {
+		lw := os.Stderr
+		if *logPath != "-" {
+			f, err := os.Create(*logPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			lw = f
+		}
+		logger = logx.New(lw)
 	}
 	cfg := pland.Config{
 		Addr:          *addr,
@@ -52,6 +74,9 @@ func main() {
 		Queue:         *queue,
 		Registry:      metrics.New(),
 		Tracer:        tracer,
+		Logger:        logger,
+		FlightSize:    *flightN,
+		Pprof:         *pprofOn,
 	}
 	// The flag default 64 doubles as pland's own default; distinguish
 	// an explicit -queue 0 (no backlog at all) from the unset case.
@@ -71,16 +96,30 @@ func main() {
 		srv.Addr(), *cacheCap, w)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
-	select {
-	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
-		os.Exit(1)
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "mccio-pland: %v — draining\n", s)
+wait:
+	for {
+		select {
+		case err := <-serveErr:
+			fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+			os.Exit(1)
+		case s := <-sig:
+			// SIGQUIT is the in-flight triage signal: dump the flight
+			// recorder and keep serving. SIGINT/SIGTERM drain and exit.
+			if s == syscall.SIGQUIT {
+				fl := srv.Flight()
+				fmt.Fprintf(os.Stderr, "mccio-pland: SIGQUIT — flight recorder (%d requests seen):\n", fl.Len())
+				if err := fl.WriteJSONL(os.Stderr); err != nil {
+					fmt.Fprintf(os.Stderr, "mccio-pland: flight dump: %v\n", err)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "mccio-pland: %v — draining\n", s)
+			break wait
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()

@@ -1,0 +1,81 @@
+// Command mccio-top is a live terminal dashboard for a running
+// mccio-pland daemon: it polls /metrics.json and redraws request
+// rate, status mix, latency percentiles, cache hit rate, and shed /
+// queue pressure every interval.
+//
+// Usage:
+//
+//	mccio-top -url http://127.0.0.1:9100
+//	mccio-top -url http://127.0.0.1:9100 -interval 1s
+//	mccio-top -url http://127.0.0.1:9100 -once        # one frame, no redraw
+//	mccio-top -url http://127.0.0.1:9100 -n 5         # five frames, then exit
+//
+// The first frame shows all-time percentiles; subsequent frames show
+// the sampling window when it saw requests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/top"
+)
+
+// fetch decodes one /metrics.json snapshot.
+func fetch(client *http.Client, url string) (*metrics.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mccio-top: %s: %s", url, resp.Status)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mccio-top: decode %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:9100", "base URL of the pland daemon")
+		interval = flag.Duration("interval", 2*time.Second, "poll and redraw interval")
+		frames   = flag.Int("n", 0, "number of frames to draw (0 = until interrupted)")
+		once     = flag.Bool("once", false, "draw a single frame and exit (same as -n 1, without clearing the screen)")
+	)
+	flag.Parse()
+	if *once {
+		*frames = 1
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	target := *url + "/metrics.json"
+	var prev *metrics.Snapshot
+	var prevAt time.Time
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetch(client, target)
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		m := top.Compute(prev, cur, now.Sub(prevAt).Seconds())
+		if !*once {
+			// ANSI clear + home: redraw in place like top(1).
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("mccio-top — %s — %s\n\n", *url, now.Format("15:04:05"))
+		}
+		m.Render(os.Stdout)
+		prev, prevAt = cur, now
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/prof"
+)
+
+// profileMinSeconds is how much wall time RunProfile keeps the CPU
+// profiler running: at the default 100 Hz sampling rate, one second
+// yields on the order of a hundred samples — enough for the hot
+// planner and engine functions to show up reliably.
+const profileMinSeconds = 1.0
+
+// profileMaxRounds caps the regression repeats so a pathologically
+// fast (or heavily downscaled) workload cannot loop unbounded.
+const profileMaxRounds = 64
+
+// ProfileReport is RunProfile's result: the top CPU and allocation
+// sites of the fixed-seed regression workload, decoded from the
+// runtime's own pprof output into a machine-readable table — the
+// "where does plan time go" answer without leaving the repo's tooling.
+type ProfileReport struct {
+	// Scale and Seed echo the profiled workload.
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+	// Rounds is how many regression sweeps ran under the profiler.
+	Rounds int `json:"rounds"`
+	// WallSeconds is the profiled wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the total sampled CPU time across all sites.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// AllocBytes is the total allocation volume the heap profile saw.
+	AllocBytes int64 `json:"alloc_bytes"`
+	// CPU and Alloc are the top sites by cumulative value ("cpu" and
+	// "alloc_space" sample types respectively).
+	CPU   []prof.Site `json:"cpu"`
+	Alloc []prof.Site `json:"alloc"`
+}
+
+// RunProfile runs the fixed-seed regression workload under the CPU
+// profiler (repeating it until profileMinSeconds of wall time has
+// accumulated), snapshots the allocation profile, and decodes both
+// into the top n sites by cumulative value. It is the engine behind
+// `mccio-bench -experiment profile`.
+func RunProfile(o Options, n int) (*ProfileReport, error) {
+	if n <= 0 {
+		n = 15
+	}
+	// Progress lines would interleave with the profiler's own work and
+	// the rounds are identical anyway; report rounds in the result.
+	o.Progress = nil
+
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+		return nil, fmt.Errorf("bench: profile: %w", err)
+	}
+	start := time.Now()
+	rounds := 0
+	var runErr error
+	for time.Since(start).Seconds() < profileMinSeconds && rounds < profileMaxRounds {
+		if _, runErr = RunRegression(o, nil); runErr != nil {
+			break
+		}
+		rounds++
+	}
+	pprof.StopCPUProfile()
+	wall := time.Since(start).Seconds()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	runtime.GC() // flush pending frees so alloc_space is current
+	var heapBuf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&heapBuf, 0); err != nil {
+		return nil, fmt.Errorf("bench: profile: allocs: %w", err)
+	}
+
+	cp, err := prof.Parse(&cpuBuf)
+	if err != nil {
+		return nil, fmt.Errorf("bench: profile: decode cpu: %w", err)
+	}
+	ap, err := prof.Parse(&heapBuf)
+	if err != nil {
+		return nil, fmt.Errorf("bench: profile: decode allocs: %w", err)
+	}
+	rep := &ProfileReport{
+		Scale:       o.withDefaults().Scale,
+		Seed:        o.withDefaults().Seed,
+		Rounds:      rounds,
+		WallSeconds: wall,
+		CPUSeconds:  float64(cp.TotalValue("cpu")) / 1e9,
+		AllocBytes:  ap.TotalValue("alloc_space"),
+	}
+	if rep.CPU, err = cp.Top("cpu", n); err != nil {
+		return nil, err
+	}
+	if rep.Alloc, err = ap.Top("alloc_space", n); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// fmtSiteVal renders a profile value in its natural unit.
+func fmtSiteVal(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	case "bytes":
+		return fmt.Sprintf("%.1fMB", float64(v)/1e6)
+	}
+	return fmt.Sprintf("%d %s", v, unit)
+}
+
+// siteTable renders one site list as a Table.
+func siteTable(title string, sites []prof.Site) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"func", "flat", "cum"},
+	}
+	for _, s := range sites {
+		t.AddRow(s.Func, fmtSiteVal(s.Flat, s.Unit), fmtSiteVal(s.Cum, s.Unit))
+	}
+	return t
+}
+
+// Tables renders the report for stdout: the CPU sites and the
+// allocation sites, cumulative-descending.
+func (r *ProfileReport) Tables() []*Table {
+	return []*Table{
+		siteTable(fmt.Sprintf("Top CPU sites (%d rounds, %.1fs sampled)", r.Rounds, r.CPUSeconds), r.CPU),
+		siteTable(fmt.Sprintf("Top allocation sites (%.1f MB total)", float64(r.AllocBytes)/1e6), r.Alloc),
+	}
+}

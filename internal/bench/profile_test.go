@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProfileNamesEngineSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the regression workload under the profiler for ~1s")
+	}
+	rep, err := RunProfile(Options{Scale: 0.1, Seed: 42, Parallel: 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds < 1 {
+		t.Fatalf("profiled %d rounds, want at least 1", rep.Rounds)
+	}
+	if len(rep.Alloc) == 0 || rep.AllocBytes == 0 {
+		t.Fatalf("allocation profile empty: %+v", rep)
+	}
+	// The regression workload spends its time in the planner and the
+	// engine; the allocation profile is deterministic enough that at
+	// least one attributed site must come from there. (The CPU profile
+	// is sampled and can be starved on a loaded host, so it is only
+	// checked when it has samples at all.)
+	engineSite := func(sites []string) bool {
+		for _, fn := range sites {
+			if strings.Contains(fn, "collio") || strings.Contains(fn, "datatype") ||
+				strings.Contains(fn, "core") {
+				return true
+			}
+		}
+		return false
+	}
+	var allocFns, cpuFns []string
+	for _, s := range rep.Alloc {
+		allocFns = append(allocFns, s.Func)
+	}
+	for _, s := range rep.CPU {
+		cpuFns = append(cpuFns, s.Func)
+	}
+	if !engineSite(allocFns) {
+		t.Fatalf("no engine function in top alloc sites:\n%s", strings.Join(allocFns, "\n"))
+	}
+	if len(rep.CPU) > 0 && rep.CPUSeconds <= 0 {
+		t.Fatalf("CPU sites present but zero sampled seconds: %+v", rep.CPU)
+	}
+	for _, tb := range rep.Tables() {
+		if tb.Title == "" || len(tb.Headers) == 0 {
+			t.Fatalf("bad table: %+v", tb)
+		}
+	}
+}

@@ -17,10 +17,12 @@ import (
 
 // docAuditPackages are the packages whose exported identifiers must
 // all carry doc comments: the surfaces the documentation pass covers
-// (sweep, bench, faults) plus the plan service and its commands.
+// (sweep, bench, faults) plus the plan service, the observability
+// packages, and their commands.
 var docAuditPackages = []string{
 	"../sweep", "../bench", "../faults",
-	"../pland", "../../cmd/mccio-pland", "../../cmd/mccio-loadgen",
+	"../pland", "../logx", "../prof", "../top",
+	"../../cmd/mccio-pland", "../../cmd/mccio-loadgen", "../../cmd/mccio-top",
 }
 
 // TestExportedIdentifiersDocumented parses each audited package and

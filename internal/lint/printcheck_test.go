@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoBarePrintsInInternal fails for any fmt.Print / fmt.Printf /
+// fmt.Println call in a non-test file under internal/. Library code
+// must write to an injected io.Writer (fmt.Fprintf, a logger, the
+// tracer) so its output is capturable and silenceable; printing
+// straight to stdout belongs only in the cmd/ entry points.
+func TestNoBarePrintsInInternal(t *testing.T) {
+	root := ".."
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "fmt" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				p := fset.Position(call.Pos())
+				t.Errorf("%s:%d: bare fmt.%s in internal/ — write to an injected io.Writer instead",
+					p.Filename, p.Line, sel.Sel.Name)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

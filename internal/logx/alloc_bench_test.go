@@ -1,0 +1,29 @@
+package logx
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkDisabledRequest measures the cost of the serving loop's
+// unconditional log call with logging off (nil logger). The contract
+// is zero allocations, matching the obs and metrics disabled paths.
+func BenchmarkDisabledRequest(b *testing.B) {
+	var l *Logger
+	rec := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Request(rec)
+	}
+}
+
+// BenchmarkEnabledRequest is the enabled-path cost for comparison: one
+// slog JSONL line per request into a discarding writer.
+func BenchmarkEnabledRequest(b *testing.B) {
+	l := New(io.Discard)
+	rec := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Request(rec)
+	}
+}

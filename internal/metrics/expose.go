@@ -157,6 +157,71 @@ func (s *Snapshot) Get(name string, want map[string]string) (float64, bool) {
 	return 0, false
 }
 
+// QuantileBuckets estimates the q-th quantile (0–1) from snapshot
+// histogram buckets (non-cumulative counts, ascending bounds, +Inf
+// last), with linear interpolation inside the owning bucket — the same
+// estimate Histogram.Quantile computes on a live instrument, usable on
+// decoded /metrics.json payloads (mccio-top's latency panel). Returns
+// 0 with no observations; values landing in the +Inf bucket report the
+// highest finite bound.
+func QuantileBuckets(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 || q < 0 || q > 1 {
+		return 0
+	}
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	highestFinite := func() float64 {
+		for i := len(buckets) - 1; i >= 0; i-- {
+			if !math.IsInf(buckets[i].UpperBound, 0) {
+				return buckets[i].UpperBound
+			}
+		}
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, b := range buckets {
+		if b.Count == 0 {
+			continue
+		}
+		if float64(cum+b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return highestFinite()
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = buckets[i-1].UpperBound
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lo + (b.UpperBound-lo)*frac
+		}
+		cum += b.Count
+	}
+	return highestFinite()
+}
+
+// SumBuckets adds b into dst bucket-by-bucket and returns dst; when
+// dst is empty it returns a copy of b. Bucket layouts must match (same
+// family), which holds for samples of one histogram family — the merge
+// mccio-top uses to fold per-endpoint latency series into one panel.
+func SumBuckets(dst, b []Bucket) []Bucket {
+	if len(dst) == 0 {
+		return append([]Bucket(nil), b...)
+	}
+	if len(b) != len(dst) {
+		return dst
+	}
+	for i := range dst {
+		dst[i].Count += b[i].Count
+	}
+	return dst
+}
+
 // Snapshot copies the registry's current state. A nil registry yields
 // an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -37,6 +38,18 @@ func NewMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
+// AttachPprof mounts the net/http/pprof profiling handlers on mux
+// under /debug/pprof/ — live CPU/heap/goroutine profiles from a
+// running daemon. Callers gate this behind a flag: the endpoints are
+// for operators, not for untrusted networks.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // NewServer wraps a handler in an http.Server with the exposition
 // timeouts set: ReadHeaderTimeout so a stalled client cannot pin a
 // connection in header-read forever, IdleTimeout so keep-alive
@@ -63,14 +76,32 @@ type Exposition struct {
 // scrape URL to logw (when non-nil) using the bound address, so ":0"
 // reports the actual port.
 func StartExposition(addr string, r *Registry, logw io.Writer) (*Exposition, error) {
+	return startExposition(addr, r, false, logw)
+}
+
+// StartExpositionPprof is StartExposition with the net/http/pprof
+// handlers additionally mounted under /debug/pprof/ — the -pprof flag
+// wiring of mccio-sim and mccio-bench.
+func StartExpositionPprof(addr string, r *Registry, logw io.Writer) (*Exposition, error) {
+	return startExposition(addr, r, true, logw)
+}
+
+func startExposition(addr string, r *Registry, withPprof bool, logw io.Writer) (*Exposition, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := NewServer(NewMux(r))
+	mux := NewMux(r)
+	if withPprof {
+		AttachPprof(mux)
+	}
+	srv := NewServer(mux)
 	go srv.Serve(ln)
 	if logw != nil {
 		fmt.Fprintf(logw, "serving metrics on http://%s/metrics\n", ln.Addr())
+		if withPprof {
+			fmt.Fprintf(logw, "serving profiles on http://%s/debug/pprof/\n", ln.Addr())
+		}
 	}
 	return &Exposition{ln: ln, srv: srv}, nil
 }

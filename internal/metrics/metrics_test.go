@@ -209,3 +209,60 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("counter=%g hist=%d, want 4000 each", c.Value(), h.Count())
 	}
 }
+
+func TestQuantileBucketsMatchesLiveHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("qb_seconds", "", DefSecondsBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 1e-5) // 0 .. 10ms
+	}
+	snap := r.Snapshot()
+	var buckets []Bucket
+	for _, f := range snap.Families {
+		if f.Name == "qb_seconds" {
+			buckets = f.Samples[0].Buckets
+		}
+	}
+	if buckets == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		live := h.Quantile(q)
+		fromSnap := QuantileBuckets(buckets, q)
+		if live != fromSnap {
+			t.Fatalf("q=%.2f: snapshot %v, live %v", q, fromSnap, live)
+		}
+	}
+}
+
+func TestQuantileBucketsEdges(t *testing.T) {
+	if got := QuantileBuckets(nil, 0.5); got != 0 {
+		t.Fatalf("empty buckets -> %v, want 0", got)
+	}
+	b := []Bucket{{UpperBound: 1}, {UpperBound: 2}, {UpperBound: math.Inf(1)}}
+	if got := QuantileBuckets(b, 0.5); got != 0 {
+		t.Fatalf("zero observations -> %v, want 0", got)
+	}
+	// Everything in +Inf clamps to the highest finite bound.
+	b[2].Count = 10
+	if got := QuantileBuckets(b, 0.99); got != 2 {
+		t.Fatalf("+Inf bucket -> %v, want 2", got)
+	}
+}
+
+func TestSumBuckets(t *testing.T) {
+	a := []Bucket{{UpperBound: 1, Count: 2}, {UpperBound: math.Inf(1), Count: 1}}
+	var dst []Bucket
+	dst = SumBuckets(dst, a)
+	dst = SumBuckets(dst, a)
+	if dst[0].Count != 4 || dst[1].Count != 2 {
+		t.Fatalf("summed %+v", dst)
+	}
+	if a[0].Count != 2 {
+		t.Fatal("SumBuckets mutated its source")
+	}
+	// Mismatched layouts are ignored rather than corrupting dst.
+	if got := SumBuckets(dst, a[:1]); got[0].Count != 4 {
+		t.Fatalf("mismatched merge %+v", got)
+	}
+}

@@ -55,6 +55,9 @@ func locArgs(e Event) map[string]any {
 	if e.Extra != 0 {
 		a["extra"] = e.Extra
 	}
+	if e.ID != "" {
+		a["id"] = e.ID
+	}
 	if len(a) == 0 {
 		return nil
 	}
@@ -152,6 +155,11 @@ func argInt(a map[string]any, key string, def int64) int64 {
 	return int64(f)
 }
 
+func argStr(a map[string]any, key string) string {
+	s, _ := a[key].(string)
+	return s
+}
+
 // ParseChrome reconstructs events from Chrome trace_event JSON
 // produced by WriteChrome (metadata entries are skipped).
 func ParseChrome(r io.Reader) ([]Event, error) {
@@ -174,6 +182,7 @@ func ParseChrome(r io.Reader) ([]Event, error) {
 			Loc:   loc,
 			Bytes: argInt(ce.Args, "bytes", 0),
 			Extra: argInt(ce.Args, "extra", 0),
+			ID:    argStr(ce.Args, "id"),
 		}
 		switch ce.Ph {
 		case "X":
@@ -204,6 +213,7 @@ type jsonlEvent struct {
 	Round int     `json:"round"`
 	Bytes int64   `json:"bytes,omitempty"`
 	Extra int64   `json:"extra,omitempty"`
+	ID    string  `json:"id,omitempty"`
 }
 
 // WriteJSONL serializes the recorded events as one JSON object per
@@ -221,7 +231,7 @@ func WriteJSONLEvents(w io.Writer, events []Event) error {
 			Kind: e.Kind.String(), Phase: string(e.Phase),
 			T0: e.T0, T1: e.T1,
 			Rank: e.Loc.Rank, Node: e.Loc.Node, Group: e.Loc.Group, Round: e.Loc.Round,
-			Bytes: e.Bytes, Extra: e.Extra,
+			Bytes: e.Bytes, Extra: e.Extra, ID: e.ID,
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -256,7 +266,7 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 		e := Event{
 			Phase: Phase(je.Phase), T0: je.T0, T1: je.T1,
 			Loc:   Loc{Rank: je.Rank, Node: je.Node, Group: je.Group, Round: je.Round},
-			Bytes: je.Bytes, Extra: je.Extra,
+			Bytes: je.Bytes, Extra: je.Extra, ID: je.ID,
 		}
 		switch je.Kind {
 		case "span":

@@ -157,7 +157,10 @@ func (k Kind) String() string {
 }
 
 // Event is one recorded trace entry. Bytes and Extra are
-// phase-specific numeric payloads (see the Phase constants).
+// phase-specific numeric payloads (see the Phase constants). ID, when
+// non-empty, is a correlation key: the plan service stamps each
+// serve.* span with the request's X-Request-ID so the span and the
+// request's JSONL log record join on one identifier.
 type Event struct {
 	Kind  Kind
 	Phase Phase
@@ -166,6 +169,7 @@ type Event struct {
 	Loc   Loc
 	Bytes int64
 	Extra int64
+	ID    string
 }
 
 // Dur returns the span duration in virtual seconds.
@@ -216,6 +220,7 @@ type Span struct {
 	phase Phase
 	loc   Loc
 	t0    float64
+	id    string
 }
 
 // Begin opens a span of phase p at loc, stamped now. On a nil tracer
@@ -227,6 +232,17 @@ func (t *Tracer) Begin(p Phase, loc Loc) Span {
 	return Span{t: t, phase: p, loc: loc, t0: t.now()}
 }
 
+// BeginID opens a span carrying a correlation ID (a request ID). The
+// ID lands on the recorded event, so trace consumers can join the span
+// with external records (request logs) sharing the identifier. On a
+// nil tracer it returns an inert Span at zero cost.
+func (t *Tracer) BeginID(p Phase, loc Loc, id string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, phase: p, loc: loc, t0: t.now(), id: id}
+}
+
 // End closes the span at the current virtual time.
 func (s Span) End() { s.EndBytes(0, 0) }
 
@@ -236,7 +252,7 @@ func (s Span) EndBytes(bytes, extra int64) {
 		return
 	}
 	s.t.record(Event{Kind: KindSpan, Phase: s.phase, T0: s.t0, T1: s.t.now(),
-		Loc: s.loc, Bytes: bytes, Extra: extra})
+		Loc: s.loc, Bytes: bytes, Extra: extra, ID: s.id})
 }
 
 // Instant records a point event. Nil-safe.

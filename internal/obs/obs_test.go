@@ -250,3 +250,56 @@ func near(a, b float64) bool {
 	d := a - b
 	return d > -1e-12 && d < 1e-12
 }
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	// A span opened with BeginID carries the correlation ID through
+	// recording and through both export formats — the join key between
+	// serve.* spans and the request log.
+	clk := &manualClock{t: 0.5}
+	tr := NewTracer()
+	tr.SetClock(clk.now)
+	sp := tr.BeginID("serve.plan", NoLoc, "req-42abc")
+	clk.t = 0.75
+	sp.EndBytes(128, 1)
+	tr.Begin(PhaseIO, testLoc(0, 0)).End() // an ID-less span stays ID-less
+
+	ev := tr.Events()
+	if ev[0].ID != "req-42abc" || ev[1].ID != "" {
+		t.Fatalf("recorded IDs %q, %q", ev[0].ID, ev[1].ID)
+	}
+
+	var jl bytes.Buffer
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(bytes.NewReader(jl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ev) {
+		t.Fatalf("jsonl round trip mismatch:\n got %+v\nwant %+v", got, ev)
+	}
+
+	var ch bytes.Buffer
+	if err := tr.WriteChrome(&ch); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseChrome(bytes.NewReader(ch.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "req-42abc" || got[1].ID != "" {
+		t.Fatalf("chrome round trip IDs %q, %q", got[0].ID, got[1].ID)
+	}
+}
+
+func TestBeginIDNilTracerAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.BeginID(PhaseIO, NoLoc, "some-request-id")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled BeginID allocates %.1f per span, want 0", allocs)
+	}
+}

@@ -1,0 +1,163 @@
+package pland
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/logx"
+)
+
+// slowestRetained is how many slowest-ever requests a FlightRecorder
+// keeps beyond the recent ring — the outliers an operator is usually
+// chasing when one request in ten thousand is slow.
+const slowestRetained = 8
+
+// flightEntry is one retained record with its admission sequence
+// number, the dedup and ordering key across the three stores.
+type flightEntry struct {
+	seq uint64
+	rec logx.Record
+}
+
+// FlightRecorder retains recent request records in memory so a loaded
+// daemon can be triaged after the fact without restarting it or
+// logging every request to disk. Three bounded stores:
+//
+//   - the last N requests (a ring),
+//   - the slowestRetained slowest requests ever seen, and
+//   - the last N/4 non-2xx requests,
+//
+// so the interesting records (the tail and the failures) survive even
+// when the ring has long evicted them. Dump merges the stores,
+// deduplicates, and returns records in arrival order — the payload of
+// GET /debug/flight and of the SIGQUIT dump.
+type FlightRecorder struct {
+	mu  sync.Mutex
+	seq uint64
+
+	recent []flightEntry // ring, capacity = size
+	next   int           // ring write cursor
+	filled bool          // ring has wrapped at least once
+
+	slow []flightEntry // ascending DurS, at most slowestRetained
+
+	errs    []flightEntry // ring of non-2xx records
+	errNext int
+	errFull bool
+}
+
+// NewFlightRecorder builds a recorder retaining the last size requests
+// (minimum 16).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 16 {
+		size = 16
+	}
+	errSize := size / 4
+	if errSize < 16 {
+		errSize = 16
+	}
+	return &FlightRecorder{
+		recent: make([]flightEntry, size),
+		errs:   make([]flightEntry, errSize),
+	}
+}
+
+// Record retains one request record.
+func (f *FlightRecorder) Record(rec logx.Record) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	e := flightEntry{seq: f.seq, rec: rec}
+
+	f.recent[f.next] = e
+	f.next++
+	if f.next == len(f.recent) {
+		f.next = 0
+		f.filled = true
+	}
+
+	// Slowest retention: keep the top slowestRetained by duration,
+	// slice kept sorted ascending so the eviction candidate is [0].
+	if len(f.slow) < slowestRetained || rec.DurS > f.slow[0].rec.DurS {
+		i := sort.Search(len(f.slow), func(i int) bool { return f.slow[i].rec.DurS >= rec.DurS })
+		f.slow = append(f.slow, flightEntry{})
+		copy(f.slow[i+1:], f.slow[i:])
+		f.slow[i] = e
+		if len(f.slow) > slowestRetained {
+			f.slow = f.slow[1:]
+		}
+	}
+
+	if rec.Status < 200 || rec.Status > 299 {
+		f.errs[f.errNext] = e
+		f.errNext++
+		if f.errNext == len(f.errs) {
+			f.errNext = 0
+			f.errFull = true
+		}
+	}
+}
+
+// Len returns how many requests have been recorded in total.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.seq)
+}
+
+// Dump returns the retained records — recent ring, slowest, and recent
+// errors — deduplicated and in arrival order.
+func (f *FlightRecorder) Dump() []logx.Record {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	var all []flightEntry
+	appendRing := func(ring []flightEntry, next int, full bool) {
+		if full {
+			all = append(all, ring[next:]...)
+			all = append(all, ring[:next]...)
+		} else {
+			all = append(all, ring[:next]...)
+		}
+	}
+	appendRing(f.recent, f.next, f.filled)
+	appendRing(f.errs, f.errNext, f.errFull)
+	all = append(all, f.slow...)
+	f.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]logx.Record, 0, len(all))
+	var last uint64
+	for _, e := range all {
+		if e.seq == last {
+			continue
+		}
+		last = e.seq
+		out = append(out, e.rec)
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained records as one JSON object per line —
+// the same schema the request log emits, so the same tooling reads
+// both.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range f.Dump() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+package pland
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/logx"
+)
+
+// flightRec builds a distinct OK record; id doubles as the identity.
+func flightRec(i int, durS float64) logx.Record {
+	return logx.Record{
+		ReqID:    fmt.Sprintf("req-%06d", i),
+		Endpoint: "plan",
+		Status:   200,
+		DurS:     durS,
+	}
+}
+
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 40; i++ {
+		f.Record(flightRec(i, 0.001))
+	}
+	if f.Len() != 40 {
+		t.Fatalf("Len %d, want 40", f.Len())
+	}
+	got := f.Dump()
+	// Identical durations: the slow store holds early records, the ring
+	// the last 16; the union must contain exactly the last 16 plus
+	// whatever the slow store pinned, all in arrival order.
+	seen := make(map[string]bool)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ReqID >= got[i].ReqID {
+			t.Fatalf("dump out of order: %s before %s", got[i-1].ReqID, got[i].ReqID)
+		}
+	}
+	for _, r := range got {
+		if seen[r.ReqID] {
+			t.Fatalf("duplicate %s in dump", r.ReqID)
+		}
+		seen[r.ReqID] = true
+	}
+	for i := 24; i < 40; i++ {
+		if !seen[fmt.Sprintf("req-%06d", i)] {
+			t.Fatalf("recent request %d evicted from a 16-slot ring after 40 inserts", i)
+		}
+	}
+	if seen[fmt.Sprintf("req-%06d", 23)] && len(got) > 16+slowestRetained {
+		t.Fatalf("dump kept more than ring+slowest: %d records", len(got))
+	}
+}
+
+func TestFlightSlowestRetention(t *testing.T) {
+	f := NewFlightRecorder(16)
+	// One pathological outlier early, then enough fast traffic to wrap
+	// the ring many times over.
+	f.Record(flightRec(0, 9.5))
+	for i := 1; i < 200; i++ {
+		f.Record(flightRec(i, 0.0001))
+	}
+	var found bool
+	for _, r := range f.Dump() {
+		if r.ReqID == "req-000000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slowest request evicted; flight recorder must retain the tail")
+	}
+	// The slow store itself stays bounded and holds the true top set.
+	for i := 0; i < 50; i++ {
+		f.Record(flightRec(1000+i, 100+float64(i)))
+	}
+	if len(f.slow) != slowestRetained {
+		t.Fatalf("slow store holds %d, want %d", len(f.slow), slowestRetained)
+	}
+	if f.slow[0].rec.DurS != 100+42 {
+		t.Fatalf("slowest floor %.1f, want 142", f.slow[0].rec.DurS)
+	}
+}
+
+func TestFlightErrorRetention(t *testing.T) {
+	f := NewFlightRecorder(16)
+	bad := logx.Record{ReqID: "bad-1", Endpoint: "plan", Status: 422, DurS: 0.001,
+		Error: "pland: planner failed"}
+	f.Record(bad)
+	for i := 0; i < 100; i++ {
+		f.Record(flightRec(i+2, 0.001))
+	}
+	var found bool
+	for _, r := range f.Dump() {
+		if r.ReqID == "bad-1" && r.Error != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("error record evicted; flight recorder must retain failures")
+	}
+}
+
+func TestFlightWriteJSONLRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 5; i++ {
+		f.Record(flightRec(i, float64(i)*0.01))
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := logx.ParseRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("%d records back, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if want := flightRec(i, float64(i)*0.01); r != want {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, r, want)
+		}
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(flightRec(0, 1))
+	if f.Len() != 0 || f.Dump() != nil {
+		t.Fatal("nil recorder retained something")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
+	"repro/internal/logx"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -123,69 +124,108 @@ func (s *Server) observe(endpoint string, code int, start time.Time) {
 	s.activeGa.Set(float64(s.pool.Active()))
 }
 
+// requestID returns the client's X-Request-ID when it is well-formed,
+// or mints a fresh one. Every /v1/* response carries the result, so
+// one ID joins the access log, the flight recorder, and the trace.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); logx.ValidRequestID(id) {
+		return id
+	}
+	return logx.NewRequestID()
+}
+
+// finish emits the request's single log record — latency metrics,
+// request log, flight recorder — once the response has been written.
+// Every handler path, success or error, funnels through here exactly
+// once.
+func (s *Server) finish(rec *logx.Record, start time.Time) {
+	rec.DurS = time.Since(start).Seconds()
+	s.observe(rec.Endpoint, rec.Status, start)
+	s.logger.Request(*rec)
+	s.flight.Record(*rec)
+}
+
+// fail answers with a JSON error body and finishes the request's
+// bookkeeping.
+func (s *Server) fail(w http.ResponseWriter, rec *logx.Record, status int, msg string, start time.Time) {
+	writeJSONError(w, status, msg)
+	rec.Status = status
+	rec.Error = msg
+	s.finish(rec, start)
+}
+
 // handlePlan serves POST /v1/plan: canonicalize, fingerprint, then
 // cache-hit or compute. Hits and coalesced waits bypass admission;
 // only the planner run of a miss occupies a pool slot.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	rec := logx.Record{ReqID: rid, Endpoint: "plan"}
 	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
-		s.observe("plan", http.StatusMethodNotAllowed, start)
+		s.fail(w, &rec, http.StatusMethodNotAllowed, "POST only", start)
 		return
 	}
 	var req PlanRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		s.observe("plan", http.StatusBadRequest, start)
+		s.fail(w, &rec, http.StatusBadRequest, "bad request body: "+err.Error(), start)
 		return
 	}
 	canon, err := req.canonicalize()
 	if err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
-		s.observe("plan", http.StatusBadRequest, start)
+		s.fail(w, &rec, http.StatusBadRequest, err.Error(), start)
 		return
 	}
 	fp := canon.Fingerprint()
-	sp := s.tracer.Begin(PhaseServePlan, obs.NoLoc)
+	rec.Fingerprint = fp
+	sp := s.tracer.BeginID(PhaseServePlan, obs.NoLoc, rid)
 
 	body, status, err := s.cache.Get(fp, func() ([]byte, error) {
-		return s.admitPlan(canon, fp)
+		return s.admitPlan(canon, fp, &rec)
 	})
 	sp.EndBytes(int64(len(body)), int64(len(canon.Views)))
 	switch {
 	case errors.Is(err, errShed):
+		rec.Cache = "shed"
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusTooManyRequests, err.Error())
-		s.observe("plan", http.StatusTooManyRequests, start)
+		s.fail(w, &rec, http.StatusTooManyRequests, err.Error(), start)
 		return
 	case err != nil:
-		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
-		s.observe("plan", http.StatusUnprocessableEntity, start)
+		s.fail(w, &rec, http.StatusUnprocessableEntity, err.Error(), start)
 		return
 	}
+	rec.Cache = status.String()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", status.String())
 	w.Header().Set("X-Fingerprint", fp)
 	w.Write(body)
-	s.observe("plan", http.StatusOK, start)
+	rec.Status = http.StatusOK
+	rec.Bytes = int64(len(body))
+	s.finish(&rec, start)
 }
 
 // admitPlan runs the planner through admission control: the job takes
 // a pool slot (shedding with errShed when the backlog is full) and the
-// calling handler goroutine waits for its result.
-func (s *Server) admitPlan(canon *canonRequest, fp string) ([]byte, error) {
+// calling handler goroutine waits for its result. The job stamps its
+// admission wait and planner execution time into rec; a coalesced
+// caller's rec keeps zeros, because someone else's run paid the cost.
+func (s *Server) admitPlan(canon *canonRequest, fp string, rec *logx.Record) ([]byte, error) {
 	type out struct {
 		body []byte
 		err  error
 	}
+	submitted := time.Now()
 	ch := make(chan out, 1)
 	admitted := s.pool.TrySubmit(func() {
+		rec.WaitS = time.Since(submitted).Seconds()
 		if s.testHooks.planStarted != nil {
 			s.testHooks.planStarted()
 		}
+		t0 := time.Now()
 		body, err := buildPlanJSON(canon, fp)
+		rec.WorkS = time.Since(t0).Seconds()
 		if err == nil {
 			s.planRuns.Inc()
 		}
@@ -258,40 +298,44 @@ func buildPlanJSON(c *canonRequest, fp string) (body []byte, err error) {
 // answers with the result plus phase breakdown.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	rec := logx.Record{ReqID: rid, Endpoint: "simulate"}
 	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
-		s.observe("simulate", http.StatusMethodNotAllowed, start)
+		s.fail(w, &rec, http.StatusMethodNotAllowed, "POST only", start)
 		return
 	}
 	var req SimRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		s.observe("simulate", http.StatusBadRequest, start)
+		s.fail(w, &rec, http.StatusBadRequest, "bad request body: "+err.Error(), start)
 		return
 	}
 	op, strategy, err := req.validateSim()
 	if err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
-		s.observe("simulate", http.StatusBadRequest, start)
+		s.fail(w, &rec, http.StatusBadRequest, err.Error(), start)
 		return
 	}
 	canon, err := req.canonicalize()
 	if err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
-		s.observe("simulate", http.StatusBadRequest, start)
+		s.fail(w, &rec, http.StatusBadRequest, err.Error(), start)
 		return
 	}
 	fp := canon.Fingerprint()
-	sp := s.tracer.Begin(PhaseServeSimulate, obs.NoLoc)
+	rec.Fingerprint = fp
+	sp := s.tracer.BeginID(PhaseServeSimulate, obs.NoLoc, rid)
 
 	type out struct {
 		resp *SimResponse
 		err  error
 	}
+	submitted := time.Now()
 	ch := make(chan out, 1)
 	admitted := s.pool.TrySubmit(func() {
+		rec.WaitS = time.Since(submitted).Seconds()
+		t0 := time.Now()
 		resp, err := runSimulation(canon, fp, op, strategy)
+		rec.WorkS = time.Since(t0).Seconds()
 		if err == nil {
 			s.simRuns.Inc()
 		}
@@ -299,23 +343,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 	if !admitted {
 		sp.End()
+		rec.Cache = "shed"
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusTooManyRequests, errShed.Error())
-		s.observe("simulate", http.StatusTooManyRequests, start)
+		s.fail(w, &rec, http.StatusTooManyRequests, errShed.Error(), start)
 		return
 	}
 	o := <-ch
 	sp.End()
 	if o.err != nil {
-		writeJSONError(w, http.StatusUnprocessableEntity, o.err.Error())
-		s.observe("simulate", http.StatusUnprocessableEntity, start)
+		s.fail(w, &rec, http.StatusUnprocessableEntity, o.err.Error(), start)
 		return
 	}
+	body, err := json.Marshal(o.resp)
+	if err != nil {
+		s.fail(w, &rec, http.StatusInternalServerError, err.Error(), start)
+		return
+	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Fingerprint", fp)
-	json.NewEncoder(w).Encode(o.resp)
-	s.observe("simulate", http.StatusOK, start)
+	w.Write(body)
+	rec.Status = http.StatusOK
+	rec.Bytes = int64(len(body))
+	s.finish(&rec, start)
 }
 
 // runSimulation executes one collective through bench.RunOnce with a
@@ -364,14 +415,42 @@ func runSimulation(c *canonRequest, fp, op, strategy string) (resp *SimResponse,
 	return out, nil
 }
 
-// handleHealth serves GET /healthz: 200 while accepting, 503 once the
-// daemon starts draining — the signal a load balancer needs to stop
-// routing before connections are refused.
+// HealthResponse is the GET /healthz body: liveness plus the coarse
+// daemon state a poller wants without scraping the full /metrics page.
+type HealthResponse struct {
+	// Status is "ok" while accepting, "draining" once Shutdown began.
+	Status string `json:"status"`
+	// Draining mirrors Status as a bool for jq-style gates.
+	Draining bool `json:"draining"`
+	// UptimeS is seconds since the daemon was built.
+	UptimeS float64 `json:"uptime_s"`
+	// CacheEntries is the plan cache's current entry count.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// handleHealth serves GET /healthz: 200 with a JSON body while
+// accepting, 503 (same body shape) once the daemon starts draining —
+// the signal a load balancer needs to stop routing before connections
+// are refused.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.isDraining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	resp := HealthResponse{
+		Status:       "ok",
+		UptimeS:      time.Since(s.started).Seconds(),
+		CacheEntries: s.cache.Len(),
 	}
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	if s.isDraining() {
+		resp.Status = "draining"
+		resp.Draining = true
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's retained
+// records as JSONL — the live, no-signal variant of the SIGQUIT dump,
+// same schema as the request log.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.flight.WriteJSONL(w)
 }

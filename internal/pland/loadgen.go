@@ -65,6 +65,13 @@ type LoadReport struct {
 	// HitRate is (hits+coalesced) / plan lookups — the fraction of
 	// plan requests that did not run the planner.
 	HitRate float64 `json:"hit_rate"`
+	// StatusCounts tallies responses by HTTP status code ("200",
+	// "429", ...); transport failures that never got a status count
+	// under "net".
+	StatusCounts map[string]int `json:"status_counts"`
+	// ErrorRate is the fraction of requests that did not return 2xx —
+	// sheds, client/server errors, and transport failures combined.
+	ErrorRate float64 `json:"error_rate"`
 }
 
 // withDefaults fills the spec's zero values.
@@ -129,7 +136,17 @@ func loadBodies(s LoadSpec) (plan, sim [][]byte, err error) {
 // loadCounts is one client's tally, merged after the run.
 type loadCounts struct {
 	errors, shed, hits, misses, coalesced, sims int
+	status                                      map[string]int
 	latencies                                   []float64 // seconds
+}
+
+// addStatus bumps one status-code bucket ("200", "429", or "net" for a
+// transport failure).
+func (c *loadCounts) addStatus(code string) {
+	if c.status == nil {
+		c.status = make(map[string]int)
+	}
+	c.status[code]++
 }
 
 // RunLoad drives the daemon with spec and reports throughput, latency
@@ -186,11 +203,13 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err != nil {
 					tally.errors++
+					tally.addStatus("net")
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				tally.latencies = append(tally.latencies, time.Since(t0).Seconds())
+				tally.addStatus(fmt.Sprintf("%d", resp.StatusCode))
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					tally.shed++
@@ -212,7 +231,11 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	rep := &LoadReport{Requests: spec.Requests, ElapsedS: elapsed}
+	rep := &LoadReport{
+		Requests:     spec.Requests,
+		ElapsedS:     elapsed,
+		StatusCounts: make(map[string]int),
+	}
 	var lats []float64
 	for i := range counts {
 		c := &counts[i]
@@ -222,7 +245,13 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		rep.Misses += c.misses
 		rep.Coalesced += c.coalesced
 		rep.Simulations += c.sims
+		for code, n := range c.status {
+			rep.StatusCounts[code] += n
+		}
 		lats = append(lats, c.latencies...)
+	}
+	if spec.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors+rep.Shed) / float64(spec.Requests)
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(len(lats)) / elapsed

@@ -1,0 +1,233 @@
+package pland
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/logx"
+	"repro/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe log sink: slog handlers serialize
+// writes, but the test reads while the server may still be writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *syncBuffer) records(t *testing.T) []logx.Record {
+	t.Helper()
+	b.mu.Lock()
+	data := append([]byte(nil), b.buf...)
+	b.mu.Unlock()
+	recs, err := logx.ParseRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parse request log: %v", err)
+	}
+	return recs
+}
+
+func TestRequestIDGeneratedAndPropagated(t *testing.T) {
+	srv := startServer(t, Config{})
+	url := "http://" + srv.Addr() + "/v1/plan"
+	body, _ := json.Marshal(testRequest([][]Extent{{{0, 1 << 20}}}))
+
+	// No header: the daemon mints one.
+	resp, _ := post(t, url, body)
+	gen := resp.Header.Get("X-Request-ID")
+	if !logx.ValidRequestID(gen) {
+		t.Fatalf("generated X-Request-ID %q is not well-formed", gen)
+	}
+
+	// Well-formed client header: propagated verbatim.
+	req, _ := http.NewRequest(http.MethodPost, url, nil)
+	req.Header.Set("X-Request-ID", "client-id.42")
+	req.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-id.42" {
+		t.Fatalf("client ID not propagated: got %q", got)
+	}
+
+	// Malformed client header (illegal characters): replaced, and error
+	// responses carry an ID too.
+	req3, _ := http.NewRequest(http.MethodGet, url, nil)
+	req3.Header.Set("X-Request-ID", "has spaces!")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/plan: %d, want 405", resp3.StatusCode)
+	}
+	got := resp3.Header.Get("X-Request-ID")
+	if got == "has spaces!" || !logx.ValidRequestID(got) {
+		t.Fatalf("malformed client ID not replaced: got %q", got)
+	}
+}
+
+func TestRequestLogOneRecordPerRequest(t *testing.T) {
+	var sink syncBuffer
+	srv := startServer(t, Config{Logger: logx.New(&sink)})
+	base := "http://" + srv.Addr()
+	body, _ := json.Marshal(testRequest([][]Extent{{{0, 1 << 20}}}))
+
+	respMiss, _ := post(t, base+"/v1/plan", body)
+	respHit, _ := post(t, base+"/v1/plan", body)
+	respBad, _ := post(t, base+"/v1/plan", []byte("{not json"))
+
+	recs := sink.records(t)
+	if len(recs) != 3 {
+		t.Fatalf("%d log records for 3 requests, want exactly 3:\n%+v", len(recs), recs)
+	}
+	wantIDs := []string{
+		respMiss.Header.Get("X-Request-ID"),
+		respHit.Header.Get("X-Request-ID"),
+		respBad.Header.Get("X-Request-ID"),
+	}
+	byID := make(map[string]logx.Record, len(recs))
+	for _, r := range recs {
+		if _, dup := byID[r.ReqID]; dup {
+			t.Fatalf("request ID %q logged twice", r.ReqID)
+		}
+		byID[r.ReqID] = r
+	}
+	miss, ok := byID[wantIDs[0]]
+	if !ok || miss.Cache != "miss" || miss.Status != 200 {
+		t.Fatalf("miss record wrong or missing: %+v", miss)
+	}
+	if miss.Fingerprint == "" || miss.Bytes == 0 || miss.WorkS <= 0 || miss.DurS <= 0 {
+		t.Fatalf("miss record lacks fingerprint/bytes/work/duration: %+v", miss)
+	}
+	hit, ok := byID[wantIDs[1]]
+	if !ok || hit.Cache != "hit" || hit.Status != 200 {
+		t.Fatalf("hit record wrong or missing: %+v", hit)
+	}
+	if hit.WorkS != 0 {
+		t.Fatalf("cache hit charged planner time: %+v", hit)
+	}
+	bad, ok := byID[wantIDs[2]]
+	if !ok || bad.Status != 400 || bad.Error == "" {
+		t.Fatalf("error record wrong or missing: %+v", bad)
+	}
+}
+
+func TestSpanIDJoinsRequestLog(t *testing.T) {
+	var sink syncBuffer
+	tracer := obs.NewTracer()
+	srv := startServer(t, Config{Logger: logx.New(&sink), Tracer: tracer})
+	body, _ := json.Marshal(testRequest([][]Extent{{{0, 1 << 20}}}))
+
+	resp, _ := post(t, "http://"+srv.Addr()+"/v1/plan", body)
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("no X-Request-ID on response")
+	}
+
+	var spanned int
+	for _, e := range tracer.Events() {
+		if e.ID == rid {
+			spanned++
+			if e.Phase != PhaseServePlan {
+				t.Fatalf("span with ID %q has phase %q, want %q", rid, e.Phase, PhaseServePlan)
+			}
+		}
+	}
+	if spanned != 1 {
+		t.Fatalf("%d spans carry request ID %q, want exactly 1", spanned, rid)
+	}
+	var logged int
+	for _, r := range sink.records(t) {
+		if r.ReqID == rid {
+			logged++
+		}
+	}
+	if logged != 1 {
+		t.Fatalf("%d log records carry request ID %q, want exactly 1", logged, rid)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	srv := startServer(t, Config{})
+	base := "http://" + srv.Addr()
+	body, _ := json.Marshal(testRequest([][]Extent{{{0, 1 << 20}}}))
+	post(t, base+"/v1/plan", body)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.Draining || h.UptimeS < 0 || h.CacheEntries != 1 {
+		t.Fatalf("healthz body: %+v", h)
+	}
+
+	// Once draining, the body keeps its shape but flips to 503.
+	srv.drainOnce.Do(func() { close(srv.draining) })
+	resp2, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", resp2.StatusCode)
+	}
+	var h2 HealthResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatalf("draining healthz is not JSON: %v", err)
+	}
+	if h2.Status != "draining" || !h2.Draining {
+		t.Fatalf("draining healthz body: %+v", h2)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	srv := startServer(t, Config{})
+	base := "http://" + srv.Addr()
+	body, _ := json.Marshal(testRequest([][]Extent{{{0, 1 << 20}}}))
+	resp1, _ := post(t, base+"/v1/plan", body)
+	resp2, _ := post(t, base+"/v1/plan", body)
+
+	resp, err := http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	recs, err := logx.ParseRecords(resp.Body)
+	if err != nil {
+		t.Fatalf("flight dump is not JSONL: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("flight dump has %d records, want 2", len(recs))
+	}
+	want := map[string]bool{
+		resp1.Header.Get("X-Request-ID"): true,
+		resp2.Header.Get("X-Request-ID"): true,
+	}
+	for _, r := range recs {
+		if !want[r.ReqID] {
+			t.Fatalf("flight record %q does not match a served request", r.ReqID)
+		}
+	}
+}

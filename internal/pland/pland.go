@@ -13,11 +13,19 @@
 //
 // The endpoints:
 //
-//	POST /v1/plan      compute or cache-hit an aggregation plan
-//	POST /v1/simulate  run the request through the collio engine
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      Prometheus text exposition
-//	GET  /metrics.json JSON snapshot of the same registry
+//	POST /v1/plan       compute or cache-hit an aggregation plan
+//	POST /v1/simulate   run the request through the collio engine
+//	GET  /healthz       liveness JSON (503 while draining)
+//	GET  /metrics       Prometheus text exposition
+//	GET  /metrics.json  JSON snapshot of the same registry
+//	GET  /debug/flight  flight-recorder dump (JSONL request records)
+//	GET  /debug/pprof/  live profiles, when Config.Pprof is set
+//
+// Every /v1/* response carries an X-Request-ID header — the client's,
+// when it sent a well-formed one, else freshly minted — and the same
+// ID appears in exactly one structured request-log record (Config.
+// Logger), in the in-memory flight recorder, and on the request's
+// trace span, so one grep joins all three views of a request.
 //
 // Admission control bounds the planner and simulator work: a
 // sweep.Pool of workers with a bounded backlog executes plan misses
@@ -36,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sweep"
@@ -60,7 +69,19 @@ type Config struct {
 	// Tracer, when non-nil, records one server-side span per request
 	// (phases "serve.plan" and "serve.simulate") on a wall-clock
 	// timeline, so mccio-report summarize can break server time down.
+	// Each span carries the request's X-Request-ID, joining it to the
+	// request log.
 	Tracer *obs.Tracer
+	// Logger, when non-nil, writes one JSONL record per request (the
+	// -log flag). Nil disables request logging at zero cost.
+	Logger *logx.Logger
+	// FlightSize bounds the flight recorder's recent-request ring;
+	// <= 0 means 256. The recorder is always on — it is the post-
+	// incident dump behind GET /debug/flight and SIGQUIT.
+	FlightSize int
+	// Pprof, when true, mounts the net/http/pprof handlers on the
+	// daemon's own mux under /debug/pprof/ for live profiling.
+	Pprof bool
 }
 
 // Server-side trace phases: one span per request, stamped with
@@ -72,13 +93,16 @@ const (
 
 // Server is a running plan-serving daemon.
 type Server struct {
-	cfg    Config
-	reg    *metrics.Registry
-	tracer *obs.Tracer
-	cache  *Cache
-	pool   *sweep.Pool
-	ln     net.Listener
-	http   *http.Server
+	cfg     Config
+	reg     *metrics.Registry
+	tracer  *obs.Tracer
+	logger  *logx.Logger
+	flight  *FlightRecorder
+	cache   *Cache
+	pool    *sweep.Pool
+	ln      net.Listener
+	http    *http.Server
+	started time.Time
 
 	drainOnce sync.Once
 	draining  chan struct{} // closed when Shutdown begins
@@ -113,6 +137,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Queue == 0 {
 		cfg.Queue = 64
 	}
+	if cfg.FlightSize <= 0 {
+		cfg.FlightSize = 256
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.New()
@@ -121,9 +148,12 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		reg:      reg,
 		tracer:   cfg.Tracer,
+		logger:   cfg.Logger,
+		flight:   NewFlightRecorder(cfg.FlightSize),
 		cache:    NewCache(cfg.CacheCapacity, reg),
 		pool:     sweep.NewPool(cfg.Workers, cfg.Queue),
 		draining: make(chan struct{}),
+		started:  time.Now(),
 		shed: reg.Counter("mccio_pland_shed_total",
 			"Requests shed with 429 because the admission backlog was full."),
 		planRuns: reg.Counter("mccio_pland_planner_runs_total",
@@ -161,9 +191,17 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/metrics", metrics.Handler(reg))
 	mux.Handle("/metrics.json", metrics.JSONHandler(reg))
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	if cfg.Pprof {
+		metrics.AttachPprof(mux)
+	}
 	s.http = metrics.NewServer(mux)
 	return s, nil
 }
+
+// Flight returns the daemon's flight recorder — the SIGQUIT handler in
+// cmd/mccio-pland dumps it.
+func (s *Server) Flight() *FlightRecorder { return s.flight }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }

@@ -1,0 +1,538 @@
+// Package prof parses pprof profiles (the gzipped protobuf format
+// runtime/pprof writes) and aggregates them into top-N tables of flat
+// and cumulative cost per function — the machine-readable artifact the
+// hot-path optimization work baselines against.
+//
+// The decoder is a minimal, dependency-free reader of the profile.proto
+// wire format: it understands exactly the fields this repo consumes
+// (sample types, samples, locations, lines, functions, string table)
+// and skips everything else, so it stays a few hundred lines instead
+// of pulling in a protobuf stack. Both packed and unpacked encodings
+// of the repeated scalar fields are handled, because the runtime's
+// writer packs them but the spec does not require it.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValueType names one sample dimension: a type ("cpu", "alloc_space",
+// "inuse_objects", ...) and its unit ("nanoseconds", "bytes", ...).
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one stack sample: the location stack (leaf first) and one
+// value per sample type.
+type Sample struct {
+	// Locations are location IDs, leaf first.
+	Locations []uint64
+	// Values align with the profile's SampleTypes.
+	Values []int64
+}
+
+// Function is one resolved function.
+type Function struct {
+	// Name is the fully qualified function name.
+	Name string
+	// File is the defining source file.
+	File string
+}
+
+// Profile is a parsed pprof profile: enough structure to attribute
+// sample values to functions.
+type Profile struct {
+	// SampleTypes names each value dimension of every sample.
+	SampleTypes []ValueType
+	// Samples are the raw stack samples.
+	Samples []Sample
+	// LocationFuncs maps a location ID to the function IDs of its line
+	// entries, innermost (inlined callee) first.
+	LocationFuncs map[uint64][]uint64
+	// Functions maps a function ID to its resolved name and file.
+	Functions map[uint64]Function
+}
+
+// gzip magic bytes: profiles from runtime/pprof are always compressed,
+// but an already-inflated stream should parse too.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Parse reads a pprof profile (gzipped or raw protobuf).
+func Parse(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("prof: read profile: %w", err)
+	}
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+	}
+	return parseProfile(data)
+}
+
+// wire types of the protobuf encoding.
+const (
+	wireVarint = 0
+	wire64     = 1
+	wireBytes  = 2
+	wire32     = 5
+)
+
+// decoder walks one protobuf message body.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.data) }
+
+// varint reads one base-128 varint.
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflows 64 bits")
+}
+
+// tag reads a field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(t >> 3), int(t & 7), nil
+}
+
+// bytes reads one length-delimited field body.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("prof: length %d exceeds remaining %d", n, len(d.data)-d.pos)
+	}
+	out := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field body of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wire64:
+		if len(d.data)-d.pos < 8 {
+			return fmt.Errorf("prof: truncated fixed64")
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wire32:
+		if len(d.data)-d.pos < 4 {
+			return fmt.Errorf("prof: truncated fixed32")
+		}
+		d.pos += 4
+		return nil
+	}
+	return fmt.Errorf("prof: unsupported wire type %d", wire)
+}
+
+// uints reads a repeated uint64 field that may be packed (wire type 2)
+// or a single unpacked element (wire type 0), appending to dst.
+func (d *decoder) uints(wire int, dst []uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, v), nil
+	}
+	body, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := decoder{data: body}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// ints is uints for int64 fields (profile.proto encodes them as
+// two's-complement varints, not zigzag).
+func (d *decoder) ints(wire int, dst []int64) ([]int64, error) {
+	us, err := d.uints(wire, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range us {
+		dst = append(dst, int64(u))
+	}
+	return dst, nil
+}
+
+// parseProfile decodes the top-level Profile message.
+func parseProfile(data []byte) (*Profile, error) {
+	p := &Profile{
+		LocationFuncs: make(map[uint64][]uint64),
+		Functions:     make(map[uint64]Function),
+	}
+	var strtab []string
+	// String indices are resolved after the walk: the string table may
+	// legally appear after the messages that reference it.
+	type vtRef struct{ typ, unit uint64 }
+	var vtRefs []vtRef
+	type fnRef struct {
+		id       uint64
+		name, fn uint64
+	}
+	var fnRefs []fnRef
+
+	d := decoder{data: data}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // repeated ValueType sample_type
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			ref, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			vtRefs = append(vtRefs, vtRef{ref[0], ref[1]})
+		case 2: // repeated Sample sample
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // repeated Location location
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, fns, err := parseLocation(body)
+			if err != nil {
+				return nil, err
+			}
+			p.LocationFuncs[id] = fns
+		case 5: // repeated Function function
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, name, file, err := parseFunction(body)
+			if err != nil {
+				return nil, err
+			}
+			fnRefs = append(fnRefs, fnRef{id, name, file})
+		case 6: // repeated string string_table
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(body))
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, r := range vtRefs {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(r.typ), Unit: str(r.unit)})
+	}
+	for _, r := range fnRefs {
+		p.Functions[r.id] = Function{Name: str(r.name), File: str(r.fn)}
+	}
+	return p, nil
+}
+
+// parseValueType returns the string-table indices (type, unit).
+func parseValueType(body []byte) ([2]uint64, error) {
+	var out [2]uint64
+	d := decoder{data: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return out, err
+		}
+		switch field {
+		case 1, 2:
+			v, err := d.varint()
+			if err != nil {
+				return out, err
+			}
+			out[field-1] = v
+		default:
+			if err := d.skip(wire); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseSample decodes one Sample message.
+func parseSample(body []byte) (Sample, error) {
+	var s Sample
+	d := decoder{data: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1: // repeated uint64 location_id
+			if s.Locations, err = d.uints(wire, s.Locations); err != nil {
+				return s, err
+			}
+		case 2: // repeated int64 value
+			if s.Values, err = d.ints(wire, s.Values); err != nil {
+				return s, err
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLocation decodes one Location message into (id, function IDs of
+// its Line entries, innermost first).
+func parseLocation(body []byte) (uint64, []uint64, error) {
+	var id uint64
+	var fns []uint64
+	d := decoder{data: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch field {
+		case 1: // uint64 id
+			if id, err = d.varint(); err != nil {
+				return 0, nil, err
+			}
+		case 4: // repeated Line line
+			line, err := d.bytes()
+			if err != nil {
+				return 0, nil, err
+			}
+			fn, err := parseLine(line)
+			if err != nil {
+				return 0, nil, err
+			}
+			fns = append(fns, fn)
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return id, fns, nil
+}
+
+// parseFunction decodes one Function message into (id, name index,
+// filename index).
+func parseFunction(body []byte) (id, name, file uint64, err error) {
+	d := decoder{data: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		switch field {
+		case 1: // uint64 id
+			if id, err = d.varint(); err != nil {
+				return 0, 0, 0, err
+			}
+		case 2: // int64 name (string table index)
+			if name, err = d.varint(); err != nil {
+				return 0, 0, 0, err
+			}
+		case 4: // int64 filename (string table index)
+			if file, err = d.varint(); err != nil {
+				return 0, 0, 0, err
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	return id, name, file, nil
+}
+
+// parseLine decodes one Line message into its function ID.
+func parseLine(body []byte) (uint64, error) {
+	var fn uint64
+	d := decoder{data: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, err
+		}
+		if field == 1 {
+			if fn, err = d.varint(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fn, nil
+}
+
+// Site is one function's aggregated cost in a profile: Flat is the
+// value sampled with the function at the leaf, Cum the value sampled
+// with the function anywhere on the stack.
+type Site struct {
+	// Func is the fully qualified function name.
+	Func string `json:"func"`
+	// File is the defining source file.
+	File string `json:"file,omitempty"`
+	// Flat and Cum are in the sample type's Unit.
+	Flat int64 `json:"flat"`
+	Cum  int64 `json:"cum"`
+	// Unit names Flat/Cum's unit ("nanoseconds", "bytes").
+	Unit string `json:"unit"`
+}
+
+// ValueIndex returns the index of the named sample type, or -1.
+func (p *Profile) ValueIndex(sampleType string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == sampleType {
+			return i
+		}
+	}
+	return -1
+}
+
+// Top aggregates the named sample dimension per function and returns
+// the n highest-cumulative sites, ties broken by name for determinism.
+// Inlined frames count: every Line entry of a location attributes to
+// its function. A function appearing multiple times in one stack
+// (recursion) is counted once toward Cum.
+func (p *Profile) Top(sampleType string, n int) ([]Site, error) {
+	vi := p.ValueIndex(sampleType)
+	if vi < 0 {
+		var have []string
+		for _, st := range p.SampleTypes {
+			have = append(have, st.Type)
+		}
+		return nil, fmt.Errorf("prof: profile has no sample type %q (has %v)", sampleType, have)
+	}
+	unit := p.SampleTypes[vi].Unit
+	type agg struct{ flat, cum int64 }
+	sites := make(map[uint64]*agg)
+	seen := make(map[uint64]bool)
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		if v == 0 {
+			continue
+		}
+		clear(seen)
+		for li, loc := range s.Locations {
+			fns := p.LocationFuncs[loc]
+			for fi, fn := range fns {
+				a := sites[fn]
+				if a == nil {
+					a = &agg{}
+					sites[fn] = a
+				}
+				if li == 0 && fi == 0 {
+					a.flat += v
+				}
+				if !seen[fn] {
+					seen[fn] = true
+					a.cum += v
+				}
+			}
+		}
+	}
+	out := make([]Site, 0, len(sites))
+	for fn, a := range sites {
+		f := p.Functions[fn]
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("func#%d", fn)
+		}
+		out = append(out, Site{Func: name, File: f.File, Flat: a.flat, Cum: a.cum, Unit: unit})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cum != out[j].Cum {
+			return out[i].Cum > out[j].Cum
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// TotalValue sums the named sample dimension over all samples — the
+// denominator for percentage-of-profile columns.
+func (p *Profile) TotalValue(sampleType string) int64 {
+	vi := p.ValueIndex(sampleType)
+	if vi < 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range p.Samples {
+		if vi < len(s.Values) {
+			total += s.Values[vi]
+		}
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package prof
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allocWork is a named allocation site the heap-profile test looks
+// for; the sink keeps the compiler from eliding the allocations.
+var allocSink [][]byte
+
+//go:noinline
+func allocWork(n int) {
+	for i := 0; i < n; i++ {
+		allocSink = append(allocSink, make([]byte, 64<<10))
+		if len(allocSink) > 16 {
+			allocSink = allocSink[:0]
+		}
+	}
+}
+
+// spinWork is a named CPU-burning site for the CPU-profile test.
+//
+//go:noinline
+func spinWork(d time.Duration) uint64 {
+	var acc uint64
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+		}
+	}
+	return acc
+}
+
+func TestParseAllocsProfile(t *testing.T) {
+	allocWork(256)
+	runtime.GC() // flush outstanding allocations into the profile
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ValueIndex("alloc_space") < 0 {
+		t.Fatalf("allocs profile lacks alloc_space: %+v", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 || len(p.Functions) == 0 {
+		t.Fatalf("empty profile: %d samples, %d functions", len(p.Samples), len(p.Functions))
+	}
+	sites, err := p.Top("alloc_space", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Site
+	for i := range sites {
+		if strings.HasSuffix(sites[i].Func, "allocWork") {
+			found = &sites[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("allocWork not attributed in %d sites", len(sites))
+	}
+	if found.Cum < found.Flat || found.Cum <= 0 {
+		t.Fatalf("allocWork site inconsistent: %+v", *found)
+	}
+	if found.Unit != "bytes" {
+		t.Fatalf("alloc_space unit %q, want bytes", found.Unit)
+	}
+	// Cumulative attribution must reach the callers: the test function
+	// itself sits above allocWork on every sampled stack.
+	for _, s := range sites {
+		if strings.Contains(s.Func, "TestParseAllocsProfile") && s.Cum >= found.Cum {
+			return
+		}
+	}
+	t.Fatal("caller TestParseAllocsProfile missing from cumulative attribution")
+}
+
+func TestParseCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spinWork(300 * time.Millisecond)
+	pprof.StopCPUProfile()
+
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ValueIndex("cpu") < 0 {
+		t.Fatalf("cpu profile lacks cpu sample type: %+v", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 {
+		// A starved CI box can yield zero samples; the parse itself
+		// succeeded, which is the hard requirement.
+		t.Skip("no CPU samples collected; host too loaded to assert attribution")
+	}
+	sites, err := p.Top("cpu", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no sites from a sampled profile")
+	}
+	// Sites come back cumulative-descending.
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Cum > sites[i-1].Cum {
+			t.Fatalf("sites not sorted: %d before %d", sites[i-1].Cum, sites[i].Cum)
+		}
+	}
+	for _, s := range sites {
+		if strings.HasSuffix(s.Func, "spinWork") {
+			return
+		}
+	}
+	t.Logf("spinWork not in top-10 (loaded host?): %+v", sites)
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("\x1f\x8bnot really gzip")); err == nil {
+		t.Fatal("bad gzip accepted")
+	}
+	// Raw bytes that aren't a profile: either a parse error or an
+	// empty profile is acceptable, but never a panic.
+	p, err := Parse(strings.NewReader("\xff\xff\xff\xff\xff"))
+	if err == nil && len(p.Samples) > 0 {
+		t.Fatal("garbage produced samples")
+	}
+}
+
+func TestTopUnknownSampleType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Top("no_such_dimension", 5); err == nil {
+		t.Fatal("unknown sample type accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package top
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// fakeDaemon builds a registry shaped like pland's and returns its
+// snapshot after recording reqs requests per endpoint map entry.
+func fakeDaemon(t *testing.T, planOK, sim429 int, lat []float64) *metrics.Snapshot {
+	t.Helper()
+	reg := metrics.New()
+	reg.Counter("mccio_pland_requests_total", "h", "endpoint", "plan", "code", "200").Add(float64(planOK))
+	if sim429 > 0 {
+		reg.Counter("mccio_pland_requests_total", "h", "endpoint", "simulate", "code", "429").Add(float64(sim429))
+	}
+	reg.Counter("mccio_pland_cache_hits_total", "h").Add(6)
+	reg.Counter("mccio_pland_cache_misses_total", "h").Add(3)
+	reg.Counter("mccio_pland_cache_coalesced_total", "h").Add(1)
+	reg.Counter("mccio_pland_shed_total", "h").Add(float64(sim429))
+	reg.Counter("mccio_pland_planner_runs_total", "h").Add(3)
+	reg.Counter("mccio_pland_simulations_total", "h").Add(2)
+	reg.Gauge("mccio_pland_cache_entries", "h").Set(3)
+	reg.Gauge("mccio_pland_queue_depth", "h").Set(1)
+	reg.Gauge("mccio_pland_active_jobs", "h").Set(2)
+	h := reg.Histogram("mccio_pland_request_seconds", "h",
+		metrics.DefSecondsBuckets(), "endpoint", "plan")
+	for _, v := range lat {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	return &snap
+}
+
+func TestComputeFirstFrame(t *testing.T) {
+	cur := fakeDaemon(t, 10, 2, []float64{0.001, 0.002, 0.004, 0.2})
+	m := Compute(nil, cur, 0)
+	if m.TotalRequests != 12 {
+		t.Fatalf("TotalRequests %v, want 12", m.TotalRequests)
+	}
+	if m.ReqPerSec != 0 || m.Windowed {
+		t.Fatalf("first frame must not report a rate or windowed percentiles: %+v", m)
+	}
+	if m.Codes["200"] != 10 || m.Codes["429"] != 2 {
+		t.Fatalf("Codes %v", m.Codes)
+	}
+	if math.Abs(m.HitRate-0.7) > 1e-9 {
+		t.Fatalf("HitRate %v, want 0.7", m.HitRate)
+	}
+	if m.Shed != 2 || m.CacheEntries != 3 || m.PlannerRuns != 3 || m.Simulations != 2 ||
+		m.QueueDepth != 1 || m.ActiveJobs != 2 {
+		t.Fatalf("gauges/counters wrong: %+v", m)
+	}
+	if m.P50 <= 0 || m.P99 < m.P95 || m.P95 < m.P50 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", m.P50, m.P95, m.P99)
+	}
+}
+
+func TestComputeWindowedRate(t *testing.T) {
+	prev := fakeDaemon(t, 10, 0, []float64{0.001, 0.001})
+	cur := fakeDaemon(t, 30, 0, []float64{0.001, 0.001, 0.5, 0.5, 0.5, 0.5})
+	m := Compute(prev, cur, 2.0)
+	if m.ReqPerSec != 10 {
+		t.Fatalf("ReqPerSec %v, want (30-10)/2 = 10", m.ReqPerSec)
+	}
+	if !m.Windowed {
+		t.Fatal("window saw 4 observations; percentiles must be windowed")
+	}
+	// All four window observations are 0.5s, so every percentile lands
+	// in the bucket containing 0.5 — far above the 1ms all-time floor.
+	if m.P50 < 0.25 {
+		t.Fatalf("windowed p50 %v still reflects all-time data", m.P50)
+	}
+}
+
+func TestComputeEmptyWindowFallsBack(t *testing.T) {
+	snap := fakeDaemon(t, 10, 0, []float64{0.001, 0.002})
+	m := Compute(snap, snap, 2.0)
+	if m.ReqPerSec != 0 {
+		t.Fatalf("idle window ReqPerSec %v, want 0", m.ReqPerSec)
+	}
+	if m.Windowed {
+		t.Fatal("empty window must fall back to all-time percentiles")
+	}
+	if m.P50 <= 0 {
+		t.Fatalf("fallback p50 %v, want > 0", m.P50)
+	}
+}
+
+func TestRender(t *testing.T) {
+	cur := fakeDaemon(t, 10, 2, []float64{0.001, 0.002})
+	var sb strings.Builder
+	Compute(nil, cur, 0).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"req/s", "p95", "hit rate", "200=10", "429=2", "2 shed", "queue 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
