@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/explain"
 	"repro/internal/metrics"
 	"repro/internal/pland"
 )
@@ -91,6 +92,7 @@ func main() {
 		topN       = flag.Int("top", 15, "sites per table for -experiment profile")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		explPath   = flag.String("explain", "", "with -experiment regression, record the planner decision audit to FILE as JSONL (render with mccio-report explain/memtl); byte-identical for every -parallel value")
 	)
 	flag.Parse()
 
@@ -106,8 +108,13 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
-	if *jsonPath != "" && *experiment == "all" {
+	if (*jsonPath != "" || *explPath != "") && *experiment == "all" {
 		*experiment = "regression"
+	}
+	var rec *explain.Recorder
+	if *explPath != "" {
+		rec = explain.NewRecorder()
+		opts.Explain = rec
 	}
 
 	reg := metrics.New()
@@ -193,6 +200,20 @@ func main() {
 			exit(1)
 		}
 		tables = append(tables, trajectoryTable("Regression", traj))
+		if rec != nil {
+			f, err := os.Create(*explPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				exit(1)
+			}
+			err = rec.WriteJSONL(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d decision events to %s\n", rec.Len(), *explPath)
+		}
 		if *jsonPath != "" {
 			traj.Created = time.Now().UTC().Format(time.RFC3339)
 			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datatype"
+	"repro/internal/explain"
 	"repro/internal/pfs"
 	"repro/internal/workload"
 )
@@ -117,11 +118,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for r := range views {
 		views[r] = wl.View(r)
 	}
+	// Record the decision audit alongside the plan so the inspector can
+	// close with the decision-count summary.
+	rec := explain.NewRecorder()
+	machine.SetExplain(rec)
 	res, err := (core.MCCIO{Opts: opts}).Inspect(machine, views)
 	if err != nil {
 		fmt.Fprintf(stderr, "mccio-inspect: %v\n", err)
 		return 1
 	}
 	fmt.Fprint(stdout, res.Summary())
+	fmt.Fprintln(stdout)
+	explain.Summarize(rec.Events()).WriteText(stdout)
 	return 0
 }

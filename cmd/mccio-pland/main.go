@@ -10,7 +10,8 @@
 //	mccio-pland -addr :9100 -log requests.jsonl -pprof
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
-// GET /metrics, GET /metrics.json, GET /debug/flight, and (with
+// GET /metrics, GET /metrics.json, GET /debug/flight,
+// GET /debug/explain, and (with
 // -pprof) GET /debug/pprof/. SIGINT/SIGTERM drains gracefully:
 // in-flight requests finish (up to -drain-timeout) and the process
 // exits 0. SIGQUIT dumps the in-memory flight recorder — the last

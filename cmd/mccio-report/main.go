@@ -13,6 +13,17 @@
 //	  experiment's bandwidth fell more than PCT percent (default 10),
 //	  which is how CI gates regressions.
 //
+//	mccio-report explain EXPLAIN-FILE
+//	  Render a decision log written by mccio-sim/mccio-bench -explain
+//	  as annotated ASCII partition trees — every remerge inline with
+//	  its reason (candidate hosts, their Mem_avl, the failed
+//	  threshold) and every placement with its winner and headroom —
+//	  plus a per-decision "why" table and the decision-count summary.
+//
+//	mccio-report memtl EXPLAIN-FILE
+//	  Render the same log's per-aggregator memory timeline as a
+//	  terminal heatmap (nodes x rounds, shaded by ledger utilization).
+//
 // A bare trace-file argument (mccio-report run.json) is accepted as
 // shorthand for summarize, for compatibility with earlier versions.
 package main
@@ -25,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/explain"
 	"repro/internal/obs"
 )
 
@@ -36,12 +48,18 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   mccio-report summarize TRACE-FILE
   mccio-report compare [-threshold PCT] OLD.json NEW.json
+  mccio-report explain EXPLAIN-FILE
+  mccio-report memtl EXPLAIN-FILE
 
 summarize aggregates an event trace written by mccio-sim -trace
 (Chrome trace_event JSON or JSONL; auto-detected) into the phase
 breakdown. compare diffs two bench trajectories written by
 mccio-bench -json and exits 1 if any experiment regressed more than
-the threshold. A bare TRACE-FILE argument implies summarize.`)
+the threshold. explain renders a decision log written by
+mccio-sim/mccio-bench -explain as an annotated partition tree with
+remerge reasons and a per-decision "why" table; memtl renders the
+same log's per-aggregator memory timeline as a terminal heatmap.
+A bare TRACE-FILE argument implies summarize.`)
 }
 
 // run dispatches the subcommand and returns the process exit code:
@@ -57,6 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return summarize(args[1:], stdout, stderr)
 	case "compare":
 		return compare(args[1:], stdout, stderr)
+	case "explain":
+		return explainCmd(args[1:], stdout, stderr)
+	case "memtl":
+		return memtlCmd(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -102,6 +124,55 @@ func summarize(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s: %d events\n", path, len(events))
 	obs.Summarize(events).WriteText(stdout)
+	return 0
+}
+
+// loadExplain parses one decision-log argument for explain/memtl.
+func loadExplain(fsName string, args []string, stderr io.Writer) ([]explain.Event, int) {
+	fs := flag.NewFlagSet(fsName, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return nil, 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return nil, 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return nil, 1
+	}
+	defer f.Close()
+	events, err := explain.ParseJSONL(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+		return nil, 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(stderr, "mccio-report: %s contains no decision events\n", fs.Arg(0))
+		return nil, 1
+	}
+	return events, 0
+}
+
+func explainCmd(args []string, stdout, stderr io.Writer) int {
+	events, code := loadExplain("explain", args, stderr)
+	if code != 0 {
+		return code
+	}
+	explain.RenderExplain(stdout, events)
+	explain.Summarize(events).WriteText(stdout)
+	return 0
+}
+
+func memtlCmd(args []string, stdout, stderr io.Writer) int {
+	events, code := loadExplain("memtl", args, stderr)
+	if code != 0 {
+		return code
+	}
+	explain.RenderMemTL(stdout, events)
 	return 0
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/explain"
 )
 
 func writeTraj(t *testing.T, name string, bw ...float64) string {
@@ -87,5 +88,73 @@ func TestRunSummarizeBareFile(t *testing.T) {
 	}
 	if code := run([]string{"summarize", path}, &out, &errb); code != 0 {
 		t.Errorf("summarize: exit = %d, want 0", code)
+	}
+}
+
+// writeExplainLog serializes a minimal decision log for the explain and
+// memtl subcommand tests.
+func writeExplainLog(t *testing.T, events []explain.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := explain.WriteJSONLEvents(f, events); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeExplainLog(t, []explain.Event{
+		{Kind: explain.KindGroups, Group: -1, Op: "write", TotalBytes: 200, Msggroup: 200,
+			Groups: []explain.GroupInfo{{First: 0, Last: 3, Nodes: 1, Bytes: 200}}},
+		{Kind: explain.KindTree, Group: 0, Hi: 200, Data: 200, Leaves: 2, Msgind: 100, MaxAggs: 2},
+		{Kind: explain.KindBisect, Group: 0, Hi: 200, Data: 200, Cut: 100, LeftData: 100, RightData: 100},
+		{Kind: explain.KindRemerge, Group: 0, Lo: 100, Hi: 200, Data: 100,
+			Variant: explain.VariantSibling, Reason: "no candidate can offer Memmin=64 bytes",
+			Threshold: 64, BestShare: 32,
+			Candidates: []explain.Candidate{{Node: 0, Avail: 32, Share: 32}}, TakerHi: 200},
+		{Kind: explain.KindMemTL, Group: -1, Node: 0, Round: 0, Used: 50, Peak: 60, Cap: 100},
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"explain", path}, &out, &errb); code != 0 {
+		t.Fatalf("explain: exit = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	for _, want := range []string{"<- remerged (sibling-takeover)", "why (1 decision(s)):", "decision audit:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"memtl", path}, &out, &errb); code != 0 {
+		t.Fatalf("memtl: exit = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "memory timeline (1 node(s) x 1 round(s))") {
+		t.Errorf("memtl output missing heatmap:\n%s", out.String())
+	}
+}
+
+func TestRunExplainErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"explain"}, &out, &errb); code != 2 {
+		t.Errorf("missing arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"explain", "-bogus", "x"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{"explain", filepath.Join(t.TempDir(), "absent.jsonl")}, &out, &errb); code != 1 {
+		t.Errorf("unreadable file: exit = %d, want 1", code)
+	}
+	// A log holding only the header has no decision events.
+	empty := writeExplainLog(t, nil)
+	errb.Reset()
+	if code := run([]string{"memtl", empty}, &out, &errb); code != 1 {
+		t.Errorf("empty log: exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no decision events") {
+		t.Errorf("empty-log stderr: %q", errb.String())
 	}
 }

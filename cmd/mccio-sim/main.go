@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/faults"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
@@ -71,6 +72,7 @@ func main() {
 		combine   = flag.Bool("combine", false, "enable the two-layer (intra-node/inter-node) exchange")
 		hints     = flag.String("hints", "", "MPI_Info-style hints (overrides -strategy); 'help' lists keys")
 		tracePath = flag.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON for Perfetto) and print the phase breakdown")
+		explPath  = flag.String("explain", "", "record the planner decision audit and memory timeline to FILE as JSONL (render with mccio-report explain/memtl)")
 		serveAddr = flag.String("serve", "", "serve Prometheus metrics on ADDR (e.g. :9090) at /metrics and keep serving after the run until interrupted")
 		metaPath  = flag.String("metrics", "", "write a one-shot JSON metrics dump to FILE after the run")
 		faultPath = flag.String("faults", "", "inject the deterministic fault schedule from this JSON FaultSpec (see examples/chaos.json)")
@@ -131,6 +133,10 @@ func main() {
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
 	}
+	var rec *explain.Recorder
+	if *explPath != "" {
+		rec = explain.NewRecorder()
+	}
 	var reg *metrics.Registry
 	if *serveAddr != "" || *metaPath != "" {
 		reg = metrics.New()
@@ -157,7 +163,7 @@ func main() {
 	}
 	res, err := bench.RunOnce(bench.Spec{
 		Strategy: s, Op: *op, Machine: mcfg, FS: fcfg, Workload: wl, Verify: *verify,
-		Tracer: tracer, Metrics: reg, Faults: sched,
+		Tracer: tracer, Metrics: reg, Faults: sched, Explain: rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -173,6 +179,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *tracePath)
 		obs.Summarize(tracer.Events()).WriteText(os.Stdout)
+	}
+	if rec != nil {
+		if err := writeExplain(*explPath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d decision events to %s\n", rec.Len(), *explPath)
+	}
+	// Anomaly scan: phase stragglers need the tracer, memory-ceiling
+	// checks need the decision log; run with whatever was recorded.
+	if tracer != nil || rec != nil {
+		var sum *obs.Summary
+		if tracer != nil {
+			sum = obs.Summarize(tracer.Events())
+		}
+		anomalies := explain.DetectAnomalies(sum, rec.Events(), explain.AnomalyConfig{})
+		for _, a := range anomalies {
+			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", a.Kind, a.Detail)
+		}
+		if reg != nil {
+			explain.CountAnomalies(reg, anomalies)
+		}
 	}
 	if *metaPath != "" {
 		if err := writeMetricsJSON(*metaPath, reg); err != nil {
@@ -193,6 +220,16 @@ func writeMetricsJSON(path string, reg *metrics.Registry) error {
 	}
 	defer f.Close()
 	return reg.WriteJSON(f)
+}
+
+// writeExplain serializes the decision log as schema-versioned JSONL.
+func writeExplain(path string, rec *explain.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteJSONL(f)
 }
 
 // writeTrace serializes the trace; the extension picks the format.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/iolib"
 	"repro/internal/pfs"
 	"repro/internal/trace"
@@ -30,6 +31,11 @@ type Options struct {
 	// for every value: each run is hermetic (its own engine, machine,
 	// file system, and sinks) and results land slot-per-row.
 	Parallel int
+	// Explain, when non-nil, collects the decision audit of experiments
+	// that support it (currently the regression bench): each row runs
+	// with its own hermetic recorder and the per-row logs are folded in
+	// row order, so the merged audit is byte-identical at any Parallel.
+	Explain *explain.Recorder
 }
 
 // fill in defaults.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/iolib"
 	"repro/internal/obs"
 	"repro/internal/sweep"
@@ -48,8 +49,9 @@ func PhaseBreakdown(o Options) (*Table, error) {
 		{core.MCCIO{Opts: mccOpts}, "read"},
 	}
 	type phaseOut struct {
-		res trace.Result
-		sum *obs.Summary
+		res       trace.Result
+		sum       *obs.Summary
+		anomalies []explain.Anomaly
 	}
 	runner := sweep.Sweep[phaseOut]{
 		Workers:  o.Parallel,
@@ -61,11 +63,16 @@ func PhaseBreakdown(o Options) (*Table, error) {
 	}
 	outs, err := runner.Run(context.Background(), len(runs), func(_ context.Context, i int) (phaseOut, error) {
 		r := runs[i]
-		res, sum, err := RunOncePhases(Spec{Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg, Workload: wl})
+		// One hermetic recorder per run: the anomaly scan needs the
+		// memory timeline, and per-run isolation keeps the table
+		// byte-identical at any worker count.
+		rec := explain.NewRecorder()
+		res, sum, err := RunOncePhases(Spec{Strategy: r.s, Op: r.op, Machine: mcfg, FS: fcfg, Workload: wl, Explain: rec})
 		if err != nil {
 			return phaseOut{}, fmt.Errorf("%s %s: %w", r.s.Name(), r.op, err)
 		}
-		return phaseOut{res: res, sum: sum}, nil
+		anomalies := explain.DetectAnomalies(sum, rec.Events(), explain.AnomalyConfig{})
+		return phaseOut{res: res, sum: sum, anomalies: anomalies}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -81,5 +88,11 @@ func PhaseBreakdown(o Options) (*Table, error) {
 		fmt.Sprintf("workload: %s, %.2f GB total", wl.Name(), float64(wl.TotalBytes())/1e9),
 		"seconds are summed across all rank tracks; one rank's phases tile its own timeline",
 	)
+	for i, r := range runs {
+		for _, a := range outs[i].anomalies {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("warning (%s %s): %s: %s", r.s.Name(), r.op, a.Kind, a.Detail))
+		}
+	}
 	return t, nil
 }

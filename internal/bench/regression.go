@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
 )
@@ -62,6 +63,19 @@ func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
 			rows[i].spec.Metrics = regs[i]
 		}
 	}
+	// Same discipline for the decision audit: each row records into its
+	// own recorder (opened with a run marker carrying the row key), and
+	// the logs are concatenated in row order afterwards — byte-identical
+	// output whatever o.Parallel is.
+	var recs []*explain.Recorder
+	if o.Explain != nil {
+		recs = make([]*explain.Recorder, len(rows))
+		for i := range recs {
+			recs[i] = explain.NewRecorder()
+			recs[i].Run(rows[i].key)
+			rows[i].spec.Explain = recs[i]
+		}
+	}
 	results, err := runSpecs(o, "regression", rows)
 	if err != nil {
 		return nil, fmt.Errorf("bench: regression: %w", err)
@@ -77,6 +91,9 @@ func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
 		merged := metrics.MergeSnapshots(snaps...)
 		out.Metrics = &merged
 		reg.Absorb(merged)
+	}
+	for _, r := range recs {
+		o.Explain.Append(r.Events())
 	}
 	return out, nil
 }

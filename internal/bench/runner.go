@@ -14,6 +14,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/cluster"
 	"repro/internal/datatype"
+	"repro/internal/explain"
 	"repro/internal/faults"
 	"repro/internal/iolib"
 	"repro/internal/metrics"
@@ -51,6 +52,12 @@ type Spec struct {
 	// file system and MPI world are built (they resolve instrument
 	// handles at construction); nil keeps collection fully disabled.
 	Metrics *metrics.Registry
+	// Explain, when non-nil, receives the run's decision audit: planner
+	// events (group division, bisections, remerges with reasons,
+	// placements) and per-aggregator memory-ledger samples at round
+	// boundaries. The runner binds it to the engine's virtual clock and
+	// attaches it to the machine; nil keeps the audit fully disabled.
+	Explain *explain.Recorder
 	// Faults, when non-nil, injects the schedule's deterministic faults
 	// into the run: the runner binds it to the run's observability sinks
 	// and attaches it to the MPI delivery layer and the file system. Use
@@ -79,6 +86,10 @@ func RunOnce(spec Spec) (trace.Result, error) {
 	}
 	if spec.Metrics != nil {
 		machine.SetMetrics(spec.Metrics)
+	}
+	if spec.Explain != nil {
+		spec.Explain.SetClock(engine.Now)
+		machine.SetExplain(spec.Explain)
 	}
 	fs, err := pfs.New(spec.FS, machine)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/explain"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resource"
@@ -173,6 +174,7 @@ type Machine struct {
 	ranks     int // total processes (Nodes*CoresPerNode by default placement)
 	tracer    *obs.Tracer
 	metrics   *metrics.Registry
+	explain   *explain.Recorder
 }
 
 // SetTracer attaches an event tracer: ledger changes on every node
@@ -213,6 +215,16 @@ func (m *Machine) SetMetrics(r *metrics.Registry) {
 
 // Metrics returns the attached metrics registry (nil when disabled).
 func (m *Machine) Metrics() *metrics.Registry { return m.metrics }
+
+// SetExplain attaches a decision recorder: the MCCIO planner records
+// its group-division, bisection, remerge, and placement decisions, and
+// the round engine samples this machine's memory ledger at round
+// boundaries. All explain.Recorder methods are nil-safe, so a nil
+// recorder disables the audit trail (the default) at zero cost.
+func (m *Machine) SetExplain(r *explain.Recorder) { m.explain = r }
+
+// Explain returns the attached decision recorder (nil when disabled).
+func (m *Machine) Explain() *explain.Recorder { return m.explain }
 
 // New builds a machine from cfg. Node memory capacities are sampled
 // deterministically from cfg.Seed when cfg.MemSigma > 0.

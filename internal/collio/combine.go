@@ -159,6 +159,9 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if mine != nil {
+			sampleMem(c, r)
+		}
 		clearScratch(vals, bytes, present)
 
 		// Intra-node layer: pack my pieces and hand them to my leader.
@@ -327,6 +330,9 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if mine != nil {
+			sampleMem(c, r)
+		}
 		clearScratch(vals, bytes, present)
 
 		// Aggregator: read the window's coverage and bundle pieces per

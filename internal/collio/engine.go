@@ -86,6 +86,19 @@ func exchangeRequests(c *mpi.Comm, vi *iolib.ViewIndex, plan *Plan) *aggState {
 	return mine
 }
 
+// sampleMem records the calling aggregator's node-ledger state (used,
+// high-water, capacity) into the decision audit at a round boundary,
+// stamped with the caller's virtual time. Nil-recorder safe and
+// allocation-free when the audit trail is disabled.
+func sampleMem(c *mpi.Comm, round int) {
+	rec := c.Explain()
+	if !rec.Enabled() {
+		return
+	}
+	node := c.World().Machine().Node(c.NodeOf(c.Rank()))
+	rec.MemSample(node.ID, round, node.Used(), node.HighWater(), node.Capacity)
+}
+
 // chargeAssembly models the extra off-chip pass an aggregator pays to
 // scatter/gather between its collective buffer and the shuffle
 // payloads — the memory-bandwidth pressure the paper is about.
@@ -159,6 +172,9 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if mine != nil {
+			sampleMem(c, r)
+		}
 		if sched != nil && injectRoundFaults(c, sched, plan, r, m, rloc) {
 			// Failover changed the plan: redo the request exchange so
 			// coverage and routing reflect the remerged domains, then
@@ -303,6 +319,9 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		sp = t.Begin(obs.PhaseBarrier, rloc)
 		c.Barrier()
 		sp.End()
+		if mine != nil {
+			sampleMem(c, r)
+		}
 		if sched != nil && injectRoundFaults(c, sched, plan, r, m, rloc) {
 			// See ExecuteWrite: redo the request exchange post-failover.
 			mine = exchangeRequests(c, vi, plan)

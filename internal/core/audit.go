@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/explain"
+
+// auditGroups records the group-division outcome in the decision audit:
+// the total requested bytes, the Msg_group threshold the division
+// worked from, and every group's rank span, node count, and volume.
+// No-op (and allocation-free) when the recorder is disabled.
+func auditGroups(rec *explain.Recorder, op string, total, msggroup int64, groups []Group) {
+	if !rec.Enabled() {
+		return
+	}
+	gi := make([]explain.GroupInfo, len(groups))
+	for i, g := range groups {
+		gi[i] = explain.GroupInfo{First: g.First, Last: g.Last, Nodes: g.Nodes, Bytes: g.Bytes}
+	}
+	rec.Record(explain.Event{
+		Kind: explain.KindGroups, Group: -1, Op: op,
+		TotalBytes: total, Msggroup: msggroup, Groups: gi,
+	})
+}
+
+// auditTree records one group's partition-tree build outcome: the root
+// extent and covered bytes, the leaf count before any remerging, and
+// the effective Msg_ind / aggregator bound the build worked from.
+// Scalar-only, so it is safe to call unconditionally.
+func auditTree(rec *explain.Recorder, group int, t *Tree, msgind int64, maxAggs int) {
+	if !rec.Enabled() {
+		return
+	}
+	root := t.Root()
+	rec.Record(explain.Event{
+		Kind: explain.KindTree, Group: group,
+		Lo: root.Lo, Hi: root.Hi, Data: root.DataBytes,
+		Leaves: len(t.Leaves()), Msgind: msgind, MaxAggs: maxAggs,
+	})
+}

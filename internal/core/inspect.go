@@ -51,9 +51,15 @@ func (mc MCCIO) Inspect(machine *cluster.Machine, views []datatype.List) (*Inspe
 	}
 	groups := DivideGroupsMemAware(nodeOf, bytesPer, msggroup,
 		func(node int) int64 { return machine.Node(node).Available() }, mc.Opts.Memmin)
+	rec := machine.Explain()
+	var total int64
+	for _, b := range bytesPer {
+		total += b
+	}
+	auditGroups(rec, "inspect", total, msggroup, groups)
 
 	res := &InspectResult{Groups: groups}
-	for _, g := range groups {
+	for gi, g := range groups {
 		memberSegs := make([]datatype.List, 0, g.Last-g.First+1)
 		nodeOfRank := make([]int, 0, g.Last-g.First+1)
 		var all datatype.List
@@ -74,9 +80,10 @@ func (mc MCCIO) Inspect(machine *cluster.Machine, views []datatype.List) (*Inspe
 			if need := (coverage.TotalBytes() + int64(maxAggs) - 1) / int64(maxAggs); need > msgind {
 				msgind = need
 			}
-			gp.Tree = BuildTree(coverage, msgind, maxAggs)
+			gp.Tree = BuildTreeExplained(coverage, msgind, maxAggs, rec, gi)
+			auditTree(rec, gi, gp.Tree, msgind, maxAggs)
 			var pm trace.Metrics
-			gp.Placements = newPlacer(gp.Tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm).Place()
+			gp.Placements = newPlacer(gp.Tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm, rec, gi).Place()
 			gp.Remerges = pm.Remerges
 		}
 		res.Plans = append(res.Plans, gp)

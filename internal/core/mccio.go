@@ -184,6 +184,7 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 			total += b
 		}
 		t.Instant(obs.EventGroupDivision, obs.Loc{Rank: c.WorldRank(0), Node: c.NodeOf(0), Group: -1, Round: -1}, total, int64(len(groups)))
+		auditGroups(machine.Explain(), op, total, msggroup, groups)
 		// Planner metrics: one rank records the group count and the
 		// memory-availability snapshot the whole plan worked from, so the
 		// exposition reflects exactly what placement saw.
@@ -250,9 +251,11 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 			if need := (coverage.TotalBytes() + int64(maxAggs) - 1) / int64(maxAggs); need > msgind {
 				msgind = need
 			}
-			tree := BuildTree(coverage, msgind, maxAggs)
+			rec := machine.Explain()
+			tree := BuildTreeExplained(coverage, msgind, maxAggs, rec, colors[c.Rank()])
+			auditTree(rec, colors[c.Rank()], tree, msgind, maxAggs)
 			var pm trace.Metrics
-			pl := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm)
+			pl := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm, rec, colors[c.Rank()])
 			placements := pl.Place()
 			remerges = pm.Remerges
 			reg := c.Metrics()

@@ -152,7 +152,7 @@ func placerScenario(t *testing.T, disableRemerge bool) *placer {
 	opts := Options{Msgind: 1 << 20, Nah: 2, Memmin: 6 << 10, DisableRemerge: disableRemerge}
 	nodeAvail := map[int]int64{0: 64 << 10, 1: 8 << 10}
 	var pm trace.Metrics
-	return newPlacer(tree, memberSegs, []int{0, 0, 1, 1}, nodeAvail, opts, &pm)
+	return newPlacer(tree, memberSegs, []int{0, 0, 1, 1}, nodeAvail, opts, &pm, nil, -1)
 }
 
 func TestPlacerRemergesWhenSharesRunOut(t *testing.T) {

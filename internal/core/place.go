@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collio"
 	"repro/internal/datatype"
+	"repro/internal/explain"
 	"repro/internal/trace"
 )
 
@@ -40,12 +41,18 @@ type placer struct {
 	effSlots   int // expected aggregators per node this group will field
 	retries    int // placements that fell back past the data-owning hosts
 
+	rec   *explain.Recorder // decision audit; nil disables
+	group int               // aggregation-group index for audit events
+
 	placed map[*TreeNode]*Placement
 }
 
 // newPlacer snapshots per-node availability. nodeAvail is the
-// consistent view every rank obtained from the same allgather.
-func newPlacer(tree *Tree, memberSegs []datatype.List, nodeOfRank []int, nodeAvail map[int]int64, opts Options, m *trace.Metrics) *placer {
+// consistent view every rank obtained from the same allgather. rec,
+// when enabled, receives one audit event per remerge (candidates,
+// their Mem_avl, the threshold that failed, takeover variant) and per
+// placement (winner, runners-up, headroom), stamped with group.
+func newPlacer(tree *Tree, memberSegs []datatype.List, nodeOfRank []int, nodeAvail map[int]int64, opts Options, m *trace.Metrics, rec *explain.Recorder, group int) *placer {
 	p := &placer{
 		tree:       tree,
 		memberSegs: memberSegs,
@@ -53,6 +60,8 @@ func newPlacer(tree *Tree, memberSegs []datatype.List, nodeOfRank []int, nodeAva
 		hosts:      make(map[int]*hostState),
 		opts:       opts,
 		metrics:    m,
+		rec:        rec,
+		group:      group,
 		placed:     make(map[*TreeNode]*Placement),
 	}
 	for r, node := range nodeOfRank {
@@ -155,7 +164,9 @@ func (p *placer) Place() []*Placement {
 		if leaf == nil {
 			break
 		}
+		retriesBefore := p.retries
 		cands := p.candidates(leaf)
+		retried := p.retries > retriesBefore
 		host := p.choose(leaf, cands)
 		// An aggregator may claim only its share of the host's remaining
 		// budget: the memory left divided by the aggregator slots left
@@ -176,8 +187,23 @@ func (p *placer) Place() []*Placement {
 					sib = l
 				}
 			}
+			variant := explain.VariantDFS
+			if sib != nil && sib.IsLeaf() {
+				variant = explain.VariantSibling
+			}
 			taker := p.tree.RemoveLeaf(leaf)
 			p.metrics.AddRemerge()
+			if p.rec.Enabled() {
+				p.rec.Record(explain.Event{
+					Kind: explain.KindRemerge, Group: p.group,
+					Lo: leaf.Lo, Hi: leaf.Hi, Data: leaf.DataBytes,
+					Variant:   variant,
+					Reason:    p.remergeReason(host, share, cands),
+					Threshold: p.opts.Memmin, BestShare: share, Node: host.node,
+					Candidates: p.auditCandidates(cands),
+					TakerLo:    taker.Lo, TakerHi: taker.Hi,
+				})
+			}
 			// Fig 5a turns the parent into the merged leaf, retiring the
 			// placed sibling's vertex: carry the placement over so the
 			// aggregator it claimed keeps serving the merged domain.
@@ -198,6 +224,7 @@ func (p *placer) Place() []*Placement {
 			buf = collio.BufFloor
 		}
 		agg := p.pickRank(host)
+		availBefore := host.avail
 		if buf > host.avail {
 			host.avail = 0
 		} else {
@@ -205,6 +232,21 @@ func (p *placer) Place() []*Placement {
 		}
 		host.aggs++
 		p.placed[leaf] = &Placement{Leaf: leaf, Agg: agg, Buf: buf}
+		if p.rec.Enabled() {
+			var runnersUp []explain.Candidate
+			for _, h := range cands {
+				if h != host {
+					runnersUp = append(runnersUp, explain.Candidate{Node: h.node, Avail: h.avail, Share: p.share(h), Aggs: h.aggs})
+				}
+			}
+			p.rec.Record(explain.Event{
+				Kind: explain.KindPlace, Group: p.group,
+				Lo: leaf.Lo, Hi: leaf.Hi, Data: leaf.DataBytes,
+				Node: host.node, Rank: agg, Buf: buf,
+				Avail: availBefore, Headroom: host.avail,
+				Retry: retried, RunnersUp: runnersUp,
+			})
+		}
 	}
 	leaves := p.tree.Leaves()
 	out := make([]*Placement, 0, len(leaves))
@@ -216,6 +258,26 @@ func (p *placer) Place() []*Placement {
 		out = append(out, pl)
 	}
 	return out
+}
+
+// auditCandidates snapshots the candidate hosts for a decision-audit
+// event: each node's Mem_avl, the per-slot share it could offer, and
+// its current aggregator load. Only called when the recorder is
+// enabled.
+func (p *placer) auditCandidates(cands []*hostState) []explain.Candidate {
+	out := make([]explain.Candidate, len(cands))
+	for i, h := range cands {
+		out[i] = explain.Candidate{Node: h.node, Avail: h.avail, Share: p.share(h), Aggs: h.aggs}
+	}
+	return out
+}
+
+// remergeReason formats the human-readable cause of a remerge: the best
+// candidate's offer against the Memmin threshold. Only called when the
+// recorder is enabled.
+func (p *placer) remergeReason(best *hostState, share int64, cands []*hostState) string {
+	return fmt.Sprintf("no candidate can offer Memmin=%d bytes: best host node %d has Mem_avl=%d but can only offer a %d-byte share across its remaining aggregator slots (%d candidate host(s) considered)",
+		p.opts.Memmin, best.node, best.avail, share, len(cands))
 }
 
 // share returns the memory an additional aggregator may claim on a

@@ -29,7 +29,7 @@ func TestPlaceFallbackRetryOncePerDomain(t *testing.T) {
 		t.Fatalf("leaves = %d, want 2", n)
 	}
 	var m trace.Metrics
-	p := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, Options{Nah: 1, Msgind: 100}, &m)
+	p := newPlacer(tree, memberSegs, nodeOfRank, nodeAvail, Options{Nah: 1, Msgind: 100}, &m, nil, -1)
 	placements := p.Place()
 	if len(placements) != 2 {
 		t.Fatalf("placements = %d, want 2", len(placements))
@@ -51,7 +51,7 @@ func TestPlaceFallbackRetryOncePerDomain(t *testing.T) {
 		t.Fatalf("leaves = %d, want 3", n)
 	}
 	var m3 trace.Metrics
-	p3 := newPlacer(tree3, memberSegs, nodeOfRank, nodeAvail, Options{Nah: 1, Msgind: 1}, &m3)
+	p3 := newPlacer(tree3, memberSegs, nodeOfRank, nodeAvail, Options{Nah: 1, Msgind: 1}, &m3, nil, -1)
 	placements = p3.Place()
 	if len(placements) != 3 {
 		t.Fatalf("placements = %d, want 3", len(placements))
@@ -75,7 +75,7 @@ func TestPlaceSingleLeafBelowMemminNoPanic(t *testing.T) {
 		}
 		var m trace.Metrics
 		p := newPlacer(tree, memberSegs, []int{0}, map[int]int64{0: 100},
-			Options{Nah: 1, Msgind: 1 << 20, Memmin: 1 << 20, DisableRemerge: disable}, &m)
+			Options{Nah: 1, Msgind: 1 << 20, Memmin: 1 << 20, DisableRemerge: disable}, &m, nil, -1)
 		placements := p.Place()
 		if len(placements) != 1 {
 			t.Fatalf("DisableRemerge=%v: placements = %d, want 1", disable, len(placements))
@@ -105,7 +105,7 @@ func TestPlaceDisableRemergeAllBelowMemmin(t *testing.T) {
 	}
 	var m trace.Metrics
 	p := newPlacer(tree, memberSegs, nodeOfRank, map[int]int64{0: 64, 1: 64},
-		Options{Nah: 2, Msgind: 400, Memmin: 1 << 20, DisableRemerge: true}, &m)
+		Options{Nah: 2, Msgind: 400, Memmin: 1 << 20, DisableRemerge: true}, &m, nil, -1)
 	placements := p.Place()
 	if len(placements) != nLeaves {
 		t.Fatalf("placements = %d, want %d (every leaf served)", len(placements), nLeaves)

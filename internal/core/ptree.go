@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/datatype"
+	"repro/internal/explain"
 )
 
 // TreeNode is a vertex of the binary partition tree. Every vertex
@@ -63,6 +64,9 @@ func (n *TreeNode) String() string {
 type Tree struct {
 	root     *TreeNode
 	coverage datatype.List // the group's aggregate request coverage
+
+	rec   *explain.Recorder // decision audit; nil disables
+	group int               // aggregation-group index for audit events
 }
 
 // BuildTree recursively bisects the coverage's extent until every leaf
@@ -71,6 +75,15 @@ type Tree struct {
 // the file offset at which half the portion's covered bytes lie to the
 // left, so sparse and dense regions get equally loaded domains.
 func BuildTree(coverage datatype.List, msgind int64, maxLeaves int) *Tree {
+	return BuildTreeExplained(coverage, msgind, maxLeaves, nil, -1)
+}
+
+// BuildTreeExplained is BuildTree with a decision-audit recorder: every
+// bisection is recorded (vertex extent, cut offset, covered bytes per
+// half) under the given aggregation-group index, in the exact recursion
+// order — left before right — so a reader can replay the events to
+// reconstruct the tree. A nil recorder makes it identical to BuildTree.
+func BuildTreeExplained(coverage datatype.List, msgind int64, maxLeaves int, rec *explain.Recorder, group int) *Tree {
 	if msgind <= 0 {
 		panic(fmt.Sprintf("core: msgind %d", msgind))
 	}
@@ -79,7 +92,7 @@ func BuildTree(coverage datatype.List, msgind int64, maxLeaves int) *Tree {
 	}
 	lo, hi := coverage.Extent()
 	root := &TreeNode{Lo: lo, Hi: hi, DataBytes: coverage.TotalBytes()}
-	t := &Tree{root: root, coverage: coverage}
+	t := &Tree{root: root, coverage: coverage, rec: rec, group: group}
 	t.split(root, msgind, maxLeaves)
 	return t
 }
@@ -101,6 +114,7 @@ func (t *Tree) split(n *TreeNode, msgind int64, budget int) {
 	}
 	n.left = &TreeNode{Lo: n.Lo, Hi: cut, DataBytes: leftData, parent: n}
 	n.right = &TreeNode{Lo: cut, Hi: n.Hi, DataBytes: rightData, parent: n}
+	t.rec.Bisect(t.group, n.Lo, n.Hi, n.DataBytes, cut, leftData)
 	lb := budget / 2
 	rb := budget - lb
 	t.split(n.left, msgind, lb)

@@ -1,0 +1,165 @@
+package explain
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Anomaly kinds. Kind doubles as the metrics label value.
+const (
+	// AnomalyStraggler flags a rank whose I/O phase time exceeds
+	// StragglerK times the median across I/O-active ranks.
+	AnomalyStraggler = "straggler"
+	// AnomalyNearCeiling flags a node whose ledger peaked at or above
+	// CeilingFrac of its sampled memory capacity.
+	AnomalyNearCeiling = "mem-near-ceiling"
+	// AnomalyImbalance flags shuffle-byte imbalance across aggregation
+	// groups: the heaviest group moved more than ImbalanceFactor times
+	// the mean.
+	AnomalyImbalance = "shuffle-imbalance"
+)
+
+// Anomaly is one detected irregularity in a run.
+type Anomaly struct {
+	// Kind is one of the Anomaly* constants.
+	Kind string `json:"kind"`
+	// Detail is the human-readable finding with the compared numbers.
+	Detail string `json:"detail"`
+}
+
+// AnomalyConfig tunes the detector thresholds; zero fields take the
+// defaults (StragglerK 3, CeilingFrac 0.9, ImbalanceFactor 2).
+type AnomalyConfig struct {
+	// StragglerK is the multiple of the median I/O time beyond which a
+	// rank counts as a straggler.
+	StragglerK float64
+	// CeilingFrac is the used/capacity fraction at which a node counts
+	// as near its memory ceiling.
+	CeilingFrac float64
+	// ImbalanceFactor is the max/mean shuffle-byte ratio beyond which
+	// groups count as imbalanced.
+	ImbalanceFactor float64
+}
+
+// withDefaults fills zero thresholds.
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.StragglerK <= 0 {
+		c.StragglerK = 3
+	}
+	if c.CeilingFrac <= 0 {
+		c.CeilingFrac = 0.9
+	}
+	if c.ImbalanceFactor <= 0 {
+		c.ImbalanceFactor = 2
+	}
+	return c
+}
+
+// DetectAnomalies scans a phase summary and a decision log's memory
+// timeline for stragglers, near-ceiling aggregators, and shuffle
+// imbalance. Either input may be nil/empty; findings are returned in a
+// deterministic order (kind, then rank/node/group).
+func DetectAnomalies(sum *obs.Summary, events []Event, cfg AnomalyConfig) []Anomaly {
+	cfg = cfg.withDefaults()
+	var out []Anomaly
+
+	// Stragglers: ranks whose PhaseIO time dwarfs the median. Only
+	// I/O-active ranks participate — non-aggregators do no I/O at all.
+	if sum != nil {
+		type rankIO struct {
+			rank int
+			sec  float64
+		}
+		var active []rankIO
+		for rank, phases := range sum.PerRank {
+			if sec := phases[obs.PhaseIO]; sec > 0 {
+				active = append(active, rankIO{rank, sec})
+			}
+		}
+		if len(active) >= 2 {
+			sort.Slice(active, func(i, j int) bool { return active[i].sec < active[j].sec })
+			median := active[len(active)/2].sec
+			if len(active)%2 == 0 {
+				median = (active[len(active)/2-1].sec + active[len(active)/2].sec) / 2
+			}
+			var slow []rankIO
+			for _, a := range active {
+				if median > 0 && a.sec > cfg.StragglerK*median {
+					slow = append(slow, a)
+				}
+			}
+			sort.Slice(slow, func(i, j int) bool { return slow[i].rank < slow[j].rank })
+			for _, s := range slow {
+				out = append(out, Anomaly{Kind: AnomalyStraggler,
+					Detail: fmt.Sprintf("rank %d spent %.6fs in io (median %.6fs, threshold %.1fx)", s.rank, s.sec, median, cfg.StragglerK)})
+			}
+		}
+	}
+
+	// Near-ceiling aggregators: from the memory timeline, which carries
+	// capacity alongside the samples.
+	peaks := map[int][2]int64{} // node -> {peak, capacity}
+	var nodes []int
+	for _, e := range events {
+		if e.Kind != KindMemTL || e.Cap <= 0 {
+			continue
+		}
+		p, seen := peaks[e.Node]
+		if !seen {
+			nodes = append(nodes, e.Node)
+		}
+		hi := e.Peak
+		if e.Used > hi {
+			hi = e.Used
+		}
+		if hi > p[0] {
+			p[0] = hi
+		}
+		if e.Cap > p[1] {
+			p[1] = e.Cap
+		}
+		peaks[e.Node] = p
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		p := peaks[node]
+		if frac := float64(p[0]) / float64(p[1]); frac >= cfg.CeilingFrac {
+			out = append(out, Anomaly{Kind: AnomalyNearCeiling,
+				Detail: fmt.Sprintf("node %d peaked at %d of %d bytes (%.0f%% of capacity)", node, p[0], p[1], frac*100)})
+		}
+	}
+
+	// Shuffle imbalance across groups.
+	if sum != nil && len(sum.GroupBytes) >= 2 {
+		var groups []int
+		var total int64
+		for g, b := range sum.GroupBytes {
+			groups = append(groups, g)
+			total += b
+		}
+		sort.Ints(groups)
+		mean := float64(total) / float64(len(groups))
+		if mean > 0 {
+			for _, g := range groups {
+				if float64(sum.GroupBytes[g]) > cfg.ImbalanceFactor*mean {
+					out = append(out, Anomaly{Kind: AnomalyImbalance,
+						Detail: fmt.Sprintf("group %d shuffled %d bytes (mean %.0f, threshold %.1fx)", g, sum.GroupBytes[g], mean, cfg.ImbalanceFactor)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountAnomalies bumps the mccio_anomalies_total counter per finding,
+// labelled by kind. Nil-registry safe.
+func CountAnomalies(reg *metrics.Registry, anomalies []Anomaly) {
+	for _, a := range anomalies {
+		reg.Counter("mccio_anomalies_total",
+			"Anomalies flagged by the run detector (stragglers, near-ceiling nodes, shuffle imbalance).",
+			"kind", a.Kind).Add(1)
+	}
+}

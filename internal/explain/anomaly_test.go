@@ -1,0 +1,86 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TestDetectStraggler plants one synthetic straggler among uniform
+// ranks and expects exactly it to be flagged.
+func TestDetectStraggler(t *testing.T) {
+	sum := &obs.Summary{PerRank: map[int]map[obs.Phase]float64{
+		0: {obs.PhaseIO: 1.0},
+		1: {obs.PhaseIO: 1.1},
+		2: {obs.PhaseIO: 0.9},
+		3: {obs.PhaseIO: 9.0},       // the straggler: 9x the median
+		4: {obs.PhaseExchange: 5.0}, // no I/O at all — must not participate
+	}}
+	got := DetectAnomalies(sum, nil, AnomalyConfig{})
+	if len(got) != 1 || got[0].Kind != AnomalyStraggler {
+		t.Fatalf("anomalies = %+v, want one straggler", got)
+	}
+	if !strings.Contains(got[0].Detail, "rank 3") {
+		t.Fatalf("wrong rank flagged: %s", got[0].Detail)
+	}
+	// With a loose threshold nothing is flagged.
+	if got := DetectAnomalies(sum, nil, AnomalyConfig{StragglerK: 20}); len(got) != 0 {
+		t.Fatalf("loose threshold still flagged %+v", got)
+	}
+}
+
+func TestDetectNearCeiling(t *testing.T) {
+	events := []Event{
+		{Kind: KindMemTL, Node: 0, Round: 0, Used: 40, Peak: 50, Cap: 100},
+		{Kind: KindMemTL, Node: 1, Round: 0, Used: 80, Peak: 95, Cap: 100},
+		{Kind: KindMemTL, Node: 2, Round: 0, Used: 10, Peak: 10, Cap: 0}, // no capacity sample
+	}
+	got := DetectAnomalies(nil, events, AnomalyConfig{})
+	if len(got) != 1 || got[0].Kind != AnomalyNearCeiling {
+		t.Fatalf("anomalies = %+v, want one near-ceiling node", got)
+	}
+	if !strings.Contains(got[0].Detail, "node 1") {
+		t.Fatalf("wrong node flagged: %s", got[0].Detail)
+	}
+}
+
+func TestDetectImbalance(t *testing.T) {
+	sum := &obs.Summary{GroupBytes: map[int]int64{0: 100, 1: 100, 2: 1000}}
+	got := DetectAnomalies(sum, nil, AnomalyConfig{})
+	if len(got) != 1 || got[0].Kind != AnomalyImbalance {
+		t.Fatalf("anomalies = %+v, want one imbalanced group", got)
+	}
+	if !strings.Contains(got[0].Detail, "group 2") {
+		t.Fatalf("wrong group flagged: %s", got[0].Detail)
+	}
+	// One group alone can never be imbalanced.
+	solo := &obs.Summary{GroupBytes: map[int]int64{0: 1000}}
+	if got := DetectAnomalies(solo, nil, AnomalyConfig{}); len(got) != 0 {
+		t.Fatalf("solo group flagged: %+v", got)
+	}
+}
+
+func TestDetectAnomaliesNilInputs(t *testing.T) {
+	if got := DetectAnomalies(nil, nil, AnomalyConfig{}); len(got) != 0 {
+		t.Fatalf("nil inputs produced %+v", got)
+	}
+}
+
+func TestCountAnomalies(t *testing.T) {
+	reg := metrics.New()
+	CountAnomalies(reg, []Anomaly{
+		{Kind: AnomalyStraggler, Detail: "a"},
+		{Kind: AnomalyStraggler, Detail: "b"},
+		{Kind: AnomalyImbalance, Detail: "c"},
+	})
+	snap := reg.Snapshot()
+	straggler, _ := snap.Get("mccio_anomalies_total", map[string]string{"kind": AnomalyStraggler})
+	imbalance, _ := snap.Get("mccio_anomalies_total", map[string]string{"kind": AnomalyImbalance})
+	if straggler != 2 || imbalance != 1 {
+		t.Fatalf("counter values straggler=%v imbalance=%v, want 2 and 1", straggler, imbalance)
+	}
+	// Nil registry must be a no-op, not a panic.
+	CountAnomalies(nil, []Anomaly{{Kind: AnomalyStraggler}})
+}

@@ -1,0 +1,388 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// runLog is one simulation run's slice of the decision log: its plans
+// in planning order plus the memory-timeline samples.
+type runLog struct {
+	key   string
+	plans []*planLog
+	memtl []Event
+}
+
+// planLog is one planned collective: the group-division event and the
+// per-group decision streams (tree, bisects, remerges, placements) in
+// recording order.
+type planLog struct {
+	groups   Event
+	perGroup map[int][]Event
+	order    []int // groups in first-appearance order
+}
+
+// splitRuns partitions a decision log at its KindRun markers; events
+// before the first marker form an implicit unnamed run.
+func splitRuns(events []Event) []*runLog {
+	var runs []*runLog
+	cur := func() *runLog {
+		if len(runs) == 0 {
+			runs = append(runs, &runLog{})
+		}
+		return runs[len(runs)-1]
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindRun:
+			runs = append(runs, &runLog{key: e.Key})
+		case KindGroups:
+			r := cur()
+			r.plans = append(r.plans, &planLog{groups: e, perGroup: map[int][]Event{}})
+		case KindTree, KindBisect, KindRemerge, KindPlace:
+			r := cur()
+			if len(r.plans) == 0 {
+				// Tolerate a log whose group-division line was truncated
+				// away: synthesize an empty plan so the events still render.
+				r.plans = append(r.plans, &planLog{groups: Event{Kind: KindGroups, Group: -1}, perGroup: map[int][]Event{}})
+			}
+			p := r.plans[len(r.plans)-1]
+			if _, ok := p.perGroup[e.Group]; !ok {
+				p.order = append(p.order, e.Group)
+			}
+			p.perGroup[e.Group] = append(p.perGroup[e.Group], e)
+		case KindMemTL:
+			cur().memtl = append(cur().memtl, e)
+		}
+	}
+	// Drop runs that carry nothing renderable.
+	out := runs[:0]
+	for _, r := range runs {
+		if len(r.plans) > 0 || len(r.memtl) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// renderNode is a reconstructed partition-tree vertex.
+type renderNode struct {
+	lo, hi, data int64
+	left, right  *renderNode
+	remerge      *Event // remerge that removed this exact extent, if any
+	place        *Event // placement whose domain is exactly this extent
+	merged       *Event // placement of a merged domain covering this leaf
+}
+
+// rebuildTree replays a group's bisect events into the built partition
+// tree and attaches remerge/placement annotations. Returns nil when the
+// group has no tree or bisect events at all.
+func rebuildTree(events []Event) *renderNode {
+	var root *renderNode
+	byExtent := map[[2]int64]*renderNode{}
+	node := func(lo, hi, data int64) *renderNode {
+		key := [2]int64{lo, hi}
+		if n := byExtent[key]; n != nil {
+			return n
+		}
+		n := &renderNode{lo: lo, hi: hi, data: data}
+		byExtent[key] = n
+		return n
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindTree:
+			if root == nil {
+				root = node(e.Lo, e.Hi, e.Data)
+			}
+		case KindBisect:
+			n := node(e.Lo, e.Hi, e.Data)
+			if root == nil {
+				root = n
+			}
+			n.left = node(e.Lo, e.Cut, e.LeftData)
+			n.right = node(e.Cut, e.Hi, e.RightData)
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	// Annotate. Remerges and placements of post-remerge (stretched)
+	// extents may not match a built vertex exactly; those fall through
+	// to the containment pass below.
+	var leaves []*renderNode
+	var collect func(n *renderNode)
+	collect = func(n *renderNode) {
+		if n.left == nil {
+			leaves = append(leaves, n)
+			return
+		}
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(root)
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindRemerge:
+			if n := byExtent[[2]int64{e.Lo, e.Hi}]; n != nil {
+				n.remerge = e
+			}
+		case KindPlace:
+			if n := byExtent[[2]int64{e.Lo, e.Hi}]; n != nil {
+				n.place = e
+				continue
+			}
+			// A merged domain: mark every built leaf it covers.
+			for _, l := range leaves {
+				if l.lo >= e.Lo && l.hi <= e.Hi && l.place == nil {
+					l.merged = e
+				}
+			}
+		}
+	}
+	return root
+}
+
+// mbs formats a byte count as megabytes for annotations.
+func mbs(b int64) string { return fmt.Sprintf("%.2fMB", float64(b)/1e6) }
+
+// writeTree renders the reconstructed tree as indented ASCII with
+// remerge reasons and placements inline.
+func writeTree(w io.Writer, n *renderNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	kind := "leaf"
+	if n.left != nil {
+		kind = "node"
+	}
+	ann := ""
+	switch {
+	case n.remerge != nil:
+		e := n.remerge
+		ann = fmt.Sprintf("  <- remerged (%s) into [%d,%d): %s", e.Variant, e.TakerLo, e.TakerHi, e.Reason)
+	case n.place != nil:
+		e := n.place
+		ann = fmt.Sprintf("  -> agg rank %d @ node %d, buf %s, headroom %s", e.Rank, e.Node, mbs(e.Buf), mbs(e.Headroom))
+		if e.Retry {
+			ann += " (fell back past data-owning hosts)"
+		}
+	case n.merged != nil:
+		e := n.merged
+		ann = fmt.Sprintf("  -> part of merged domain [%d,%d) -> agg rank %d @ node %d", e.Lo, e.Hi, e.Rank, e.Node)
+	}
+	fmt.Fprintf(w, "%s%s[%d,%d) data=%d%s\n", indent, kind, n.lo, n.hi, n.data, ann)
+	if n.left != nil {
+		writeTree(w, n.left, depth+1)
+		writeTree(w, n.right, depth+1)
+	}
+}
+
+// RenderExplain renders a decision log as annotated ASCII partition
+// trees — every remerge inline with its reason, every placement with
+// its winner and headroom — followed by a per-decision "why" table.
+func RenderExplain(w io.Writer, events []Event) {
+	runs := splitRuns(events)
+	if len(runs) == 0 {
+		fmt.Fprintln(w, "no planner decisions in log")
+		return
+	}
+	for ri, run := range runs {
+		if run.key != "" {
+			fmt.Fprintf(w, "run %s\n", run.key)
+		} else if len(runs) > 1 {
+			fmt.Fprintf(w, "run %d\n", ri)
+		}
+		for pi, p := range run.plans {
+			g := p.groups
+			fmt.Fprintf(w, "plan %d", pi)
+			if g.Op != "" {
+				fmt.Fprintf(w, " (%s)", g.Op)
+			}
+			fmt.Fprintf(w, ": %s over %d group(s), Msg_group=%d\n", mbs(g.TotalBytes), len(g.Groups), g.Msggroup)
+			for gi, info := range g.Groups {
+				fmt.Fprintf(w, "  group %d: ranks [%d..%d] on %d node(s), %s requested\n",
+					gi, info.First, info.Last, info.Nodes, mbs(info.Bytes))
+				writeGroupDecisions(w, p.perGroup[gi])
+			}
+			// Groups that recorded decisions without a matching division
+			// entry (e.g. a log with the header truncated away).
+			for _, gi := range p.order {
+				if gi >= 0 && gi < len(g.Groups) {
+					continue
+				}
+				fmt.Fprintf(w, "  group %d:\n", gi)
+				writeGroupDecisions(w, p.perGroup[gi])
+			}
+		}
+		writeWhyTable(w, run)
+		fmt.Fprintln(w)
+	}
+}
+
+// writeGroupDecisions renders one group's tree and decision lines.
+func writeGroupDecisions(w io.Writer, events []Event) {
+	var tree *Event
+	for i := range events {
+		if events[i].Kind == KindTree {
+			tree = &events[i]
+			break
+		}
+	}
+	root := rebuildTree(events)
+	if root == nil {
+		fmt.Fprintf(w, "    (no partition tree: group holds no data)\n")
+		return
+	}
+	if tree != nil {
+		fmt.Fprintf(w, "    partition tree: %d leaves built, Msg_ind=%d, max aggregators=%d\n",
+			tree.Leaves, tree.Msgind, tree.MaxAggs)
+	}
+	var b strings.Builder
+	writeTree(&b, root, 0)
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		fmt.Fprintf(w, "    %s\n", line)
+	}
+}
+
+// writeWhyTable prints one line per remerge and placement decision with
+// the quantities the rule compared.
+func writeWhyTable(w io.Writer, run *runLog) {
+	var rows []string
+	for _, p := range run.plans {
+		gis := append([]int(nil), p.order...)
+		sort.Ints(gis)
+		for _, gi := range gis {
+			for _, e := range p.perGroup[gi] {
+				switch e.Kind {
+				case KindRemerge:
+					cands := make([]string, len(e.Candidates))
+					for i, c := range e.Candidates {
+						cands[i] = fmt.Sprintf("node %d Mem_avl=%d share=%d", c.Node, c.Avail, c.Share)
+					}
+					rows = append(rows, fmt.Sprintf("  remerge  g%-3d [%d,%d) %-17s threshold=%d best_share=%d candidates: %s",
+						e.Group, e.Lo, e.Hi, e.Variant, e.Threshold, e.BestShare, strings.Join(cands, "; ")))
+				case KindPlace:
+					extra := ""
+					if len(e.RunnersUp) > 0 {
+						ups := make([]string, len(e.RunnersUp))
+						for i, c := range e.RunnersUp {
+							ups[i] = fmt.Sprintf("node %d Mem_avl=%d", c.Node, c.Avail)
+						}
+						extra = " runners-up: " + strings.Join(ups, "; ")
+					}
+					if e.Retry {
+						extra += " [retry]"
+					}
+					rows = append(rows, fmt.Sprintf("  place    g%-3d [%d,%d) -> rank %d @ node %d buf=%d avail=%d headroom=%d%s",
+						e.Group, e.Lo, e.Hi, e.Rank, e.Node, e.Buf, e.Avail, e.Headroom, extra))
+				}
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "why (%d decision(s)):\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// memShades maps a utilization fraction to a heatmap cell, light to
+// heavy; the last two shades mean the node is close to its ceiling.
+const memShades = " .:-=+*#%@"
+
+// shadeOf returns the heatmap character for used/cap.
+func shadeOf(used, capacity int64) byte {
+	if capacity <= 0 {
+		return '?'
+	}
+	frac := float64(used) / float64(capacity)
+	idx := int(frac * float64(len(memShades)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(memShades) {
+		idx = len(memShades) - 1
+	}
+	return memShades[idx]
+}
+
+// RenderMemTL renders the per-aggregator memory timelines as a terminal
+// heatmap: one row per node, one column per round, shaded by the
+// node's peak ledger utilization observed at that round boundary.
+func RenderMemTL(w io.Writer, events []Event) {
+	runs := splitRuns(events)
+	any := false
+	for ri, run := range runs {
+		if len(run.memtl) == 0 {
+			continue
+		}
+		any = true
+		if run.key != "" {
+			fmt.Fprintf(w, "run %s\n", run.key)
+		} else if len(runs) > 1 {
+			fmt.Fprintf(w, "run %d\n", ri)
+		}
+		type cell struct{ used, peak, capacity int64 }
+		grid := map[int]map[int]*cell{} // node -> round -> sample
+		maxRound := 0
+		var nodes []int
+		for _, e := range run.memtl {
+			if grid[e.Node] == nil {
+				grid[e.Node] = map[int]*cell{}
+				nodes = append(nodes, e.Node)
+			}
+			c := grid[e.Node][e.Round]
+			if c == nil {
+				c = &cell{}
+				grid[e.Node][e.Round] = c
+			}
+			if e.Used > c.used {
+				c.used = e.Used
+			}
+			if e.Peak > c.peak {
+				c.peak = e.Peak
+			}
+			if e.Cap > c.capacity {
+				c.capacity = e.Cap
+			}
+			if e.Round > maxRound {
+				maxRound = e.Round
+			}
+		}
+		sort.Ints(nodes)
+		fmt.Fprintf(w, "memory timeline (%d node(s) x %d round(s)); shade = used/capacity [%s]\n",
+			len(nodes), maxRound+1, memShades)
+		for _, node := range nodes {
+			var line strings.Builder
+			var peak, capacity int64
+			for r := 0; r <= maxRound; r++ {
+				c := grid[node][r]
+				if c == nil {
+					line.WriteByte(' ')
+					continue
+				}
+				line.WriteByte(shadeOf(c.used, c.capacity))
+				if c.peak > peak {
+					peak = c.peak
+				}
+				if c.capacity > capacity {
+					capacity = c.capacity
+				}
+			}
+			util := 0.0
+			if capacity > 0 {
+				util = float64(peak) / float64(capacity) * 100
+			}
+			fmt.Fprintf(w, "node %3d |%s| peak %s / %s (%.0f%%)\n",
+				node, line.String(), mbs(peak), mbs(capacity), util)
+		}
+		fmt.Fprintln(w)
+	}
+	if !any {
+		fmt.Fprintln(w, "no memory-timeline samples in log")
+	}
+}

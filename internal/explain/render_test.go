@@ -1,0 +1,119 @@
+package explain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderExplainAnnotatedTree(t *testing.T) {
+	var buf bytes.Buffer
+	RenderExplain(&buf, sampleEvents())
+	out := buf.String()
+	for _, want := range []string{
+		"run mem=4MB/mccio/write",
+		"plan 0 (write)",
+		"group 0: ranks [0..11]",
+		"partition tree: 2 leaves built",
+		"node[0,524288) data=524288  -> agg rank 0 @ node 0, buf 0.52MB, headroom 0.52MB",
+		"leaf[0,262144)",
+		"<- remerged (sibling-takeover) into [0,524288): no candidate can offer",
+		"why (2 decision(s)):",
+		"remerge  g0   [262144,524288) sibling-takeover",
+		"candidates: node 0 Mem_avl=262144 share=262144",
+		"place    g0   [0,524288) -> rank 0 @ node 0",
+		"runners-up: node 1 Mem_avl=262144",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderExplainMergedDomain covers the containment fallback: a
+// placement whose extent was stretched by a directional-DFS remerge
+// matches no built vertex, so the leaves it covers are marked as part
+// of the merged domain.
+func TestRenderExplainMergedDomain(t *testing.T) {
+	events := []Event{
+		{Kind: KindGroups, Group: -1, Op: "write", TotalBytes: 300, Msggroup: 300,
+			Groups: []GroupInfo{{First: 0, Last: 3, Nodes: 1, Bytes: 300}}},
+		{Kind: KindTree, Group: 0, Lo: 0, Hi: 300, Data: 300, Leaves: 3, Msgind: 100, MaxAggs: 3},
+		{Kind: KindBisect, Group: 0, Lo: 0, Hi: 300, Data: 300, Cut: 100, LeftData: 100, RightData: 200},
+		{Kind: KindBisect, Group: 0, Lo: 100, Hi: 300, Data: 200, Cut: 200, LeftData: 100, RightData: 100},
+		// The stretched domain [0,200) spans the root cut, so it covers
+		// two built leaves but is itself no vertex of the tree.
+		{Kind: KindPlace, Group: 0, Lo: 0, Hi: 200, Data: 200, Node: 1, Rank: 1, Buf: 200, Headroom: 50},
+	}
+	var buf bytes.Buffer
+	RenderExplain(&buf, events)
+	out := buf.String()
+	for _, want := range []string{
+		"leaf[0,100) data=100  -> part of merged domain [0,200) -> agg rank 1 @ node 1",
+		"leaf[100,200) data=100  -> part of merged domain [0,200) -> agg rank 1 @ node 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged-domain render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderExplainEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderExplain(&buf, nil)
+	if !strings.Contains(buf.String(), "no planner decisions") {
+		t.Fatalf("empty log render: %q", buf.String())
+	}
+}
+
+// TestRenderExplainTruncatedLog proves the renderer copes with a log
+// whose group-division line is missing (truncated file): the decision
+// events still render under a synthesized plan.
+func TestRenderExplainTruncatedLog(t *testing.T) {
+	ev := sampleEvents()[2:] // drop run marker and groups line
+	var buf bytes.Buffer
+	RenderExplain(&buf, ev)
+	out := buf.String()
+	if !strings.Contains(out, "group 0:") || !strings.Contains(out, "remerged (sibling-takeover)") {
+		t.Fatalf("truncated log lost its decisions:\n%s", out)
+	}
+}
+
+func TestRenderMemTL(t *testing.T) {
+	events := []Event{
+		{Kind: KindMemTL, Group: -1, Node: 0, Round: 0, Used: 0, Peak: 0, Cap: 100},
+		{Kind: KindMemTL, Group: -1, Node: 0, Round: 1, Used: 95, Peak: 95, Cap: 100},
+		{Kind: KindMemTL, Group: -1, Node: 1, Round: 0, Used: 50, Peak: 50, Cap: 100},
+	}
+	var buf bytes.Buffer
+	RenderMemTL(&buf, events)
+	out := buf.String()
+	if !strings.Contains(out, "memory timeline (2 node(s) x 2 round(s))") {
+		t.Fatalf("missing grid header:\n%s", out)
+	}
+	// Node 0: idle then near-ceiling — one of the two hottest shades.
+	if !strings.Contains(out, "node   0 | %|") {
+		t.Fatalf("node 0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(95%)") {
+		t.Fatalf("peak utilization missing:\n%s", out)
+	}
+
+	buf.Reset()
+	RenderMemTL(&buf, nil)
+	if !strings.Contains(buf.String(), "no memory-timeline samples") {
+		t.Fatalf("empty timeline render: %q", buf.String())
+	}
+}
+
+func TestShadeOf(t *testing.T) {
+	if c := shadeOf(0, 100); c != ' ' {
+		t.Errorf("idle shade = %q, want space", c)
+	}
+	if c := shadeOf(100, 100); c != '@' {
+		t.Errorf("full shade = %q, want @", c)
+	}
+	if c := shadeOf(10, 0); c != '?' {
+		t.Errorf("zero-capacity shade = %q, want ?", c)
+	}
+}

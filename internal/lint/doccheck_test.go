@@ -21,7 +21,7 @@ import (
 // packages, and their commands.
 var docAuditPackages = []string{
 	"../sweep", "../bench", "../faults",
-	"../pland", "../logx", "../prof", "../top",
+	"../pland", "../logx", "../prof", "../top", "../explain",
 	"../../cmd/mccio-pland", "../../cmd/mccio-loadgen", "../../cmd/mccio-top",
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/explain"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -60,6 +61,11 @@ func (c *Comm) Tracer() *obs.Tracer { return c.w.machine.Tracer() }
 // when metrics are disabled. All metrics methods are nil-safe, so
 // callers may use the result unconditionally.
 func (c *Comm) Metrics() *metrics.Registry { return c.w.machine.Metrics() }
+
+// Explain returns the decision recorder attached to the machine, or
+// nil when the audit trail is disabled. All explain.Recorder methods
+// are nil-safe, so callers may use the result unconditionally.
+func (c *Comm) Explain() *explain.Recorder { return c.w.machine.Explain() }
 
 // Faults returns the fault schedule attached to the world, or nil when
 // fault injection is off. All Schedule methods are nil-safe, so callers

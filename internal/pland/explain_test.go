@@ -1,0 +1,55 @@
+package pland
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestDebugExplain covers the decision-audit endpoint: 404 before any
+// planner run, then the latest miss's fingerprint and decision counts.
+func TestDebugExplain(t *testing.T) {
+	srv := startServer(t, Config{})
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/debug/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("before any plan: %d, want 404", resp.StatusCode)
+	}
+
+	req := testRequest([][]Extent{
+		{{0, 1 << 20}, {4 << 20, 1 << 20}},
+		{{1 << 20, 1 << 20}, {5 << 20, 1 << 20}},
+	})
+	body, _ := json.Marshal(req)
+	planResp, _ := post(t, base+"/v1/plan", body)
+	if planResp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d", planResp.StatusCode)
+	}
+	wantFP := planResp.Header.Get("X-Fingerprint")
+
+	resp, err = http.Get(base + "/debug/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after plan: %d, want 200", resp.StatusCode)
+	}
+	var st ExplainState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != wantFP {
+		t.Fatalf("explain fingerprint %q, want the served plan's %q", st.Fingerprint, wantFP)
+	}
+	if st.Summary.Plans == 0 || st.Summary.Placements == 0 {
+		t.Fatalf("explain summary empty: %+v", st.Summary)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/iolib"
 	"repro/internal/logx"
 	"repro/internal/obs"
@@ -224,10 +225,11 @@ func (s *Server) admitPlan(canon *canonRequest, fp string, rec *logx.Record) ([]
 			s.testHooks.planStarted()
 		}
 		t0 := time.Now()
-		body, err := buildPlanJSON(canon, fp)
+		body, sum, err := buildPlanJSON(canon, fp)
 		rec.WorkS = time.Since(t0).Seconds()
 		if err == nil {
 			s.planRuns.Inc()
+			s.storeExplain(fp, sum)
 		}
 		ch <- out{body, err}
 	})
@@ -240,10 +242,11 @@ func (s *Server) admitPlan(canon *canonRequest, fp string, rec *logx.Record) ([]
 
 // buildPlanJSON runs the offline planner (core.MCCIO.Inspect) on a
 // fresh machine built from the canonical request and serializes the
-// resulting plan. A planner panic (hostile-but-validated input hitting
+// resulting plan, plus the decision-count summary GET /debug/explain
+// reports. A planner panic (hostile-but-validated input hitting
 // an internal invariant) is converted to an error so one request
 // cannot take the daemon down.
-func buildPlanJSON(c *canonRequest, fp string) (body []byte, err error) {
+func buildPlanJSON(c *canonRequest, fp string) (body []byte, sum explain.Summary, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("pland: planner failed: %v", p)
@@ -251,13 +254,16 @@ func buildPlanJSON(c *canonRequest, fp string) (body []byte, err error) {
 	}()
 	machine, err := cluster.New(c.Cluster)
 	if err != nil {
-		return nil, err
+		return nil, explain.Summary{}, err
 	}
+	rec := explain.NewRecorder()
+	machine.SetExplain(rec)
 	mc := core.MCCIO{Opts: c.Options}
 	ir, err := mc.Inspect(machine, c.Views)
 	if err != nil {
-		return nil, err
+		return nil, explain.Summary{}, err
 	}
+	sum = explain.Summarize(rec.Events())
 	resp := PlanResponse{Fingerprint: fp, Ranks: len(c.Views), Options: c.Options}
 	for _, v := range c.Views {
 		resp.TotalBytes += v.TotalBytes()
@@ -287,9 +293,41 @@ func buildPlanJSON(c *canonRequest, fp string) (body []byte, err error) {
 	}
 	body, err = json.Marshal(resp)
 	if err != nil {
-		return nil, err
+		return nil, explain.Summary{}, err
 	}
-	return append(body, '\n'), nil
+	return append(body, '\n'), sum, nil
+}
+
+// ExplainState is the body of GET /debug/explain: the decision-count
+// summary of the most recent planner execution (a cache miss that ran),
+// keyed by the plan fingerprint it produced.
+type ExplainState struct {
+	// Fingerprint is the canonical request key of the summarized run.
+	Fingerprint string `json:"fingerprint"`
+	// Summary is the run's decision-count rollup.
+	Summary explain.Summary `json:"summary"`
+}
+
+// storeExplain publishes the latest planner run's decision summary.
+func (s *Server) storeExplain(fp string, sum explain.Summary) {
+	s.explainMu.Lock()
+	s.lastExplain = &ExplainState{Fingerprint: fp, Summary: sum}
+	s.explainMu.Unlock()
+}
+
+// handleExplain serves GET /debug/explain: the decision-count summary
+// of the most recent planner run, or 404 before any miss has executed
+// (cache hits reuse an earlier run's plan and do not update it).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.explainMu.Lock()
+	st := s.lastExplain
+	s.explainMu.Unlock()
+	if st == nil {
+		writeJSONError(w, http.StatusNotFound, "no planner run recorded yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
 }
 
 // handleSimulate serves POST /v1/simulate: every simulation goes

@@ -19,6 +19,7 @@
 //	GET  /metrics       Prometheus text exposition
 //	GET  /metrics.json  JSON snapshot of the same registry
 //	GET  /debug/flight  flight-recorder dump (JSONL request records)
+//	GET  /debug/explain decision-count summary of the latest planner run
 //	GET  /debug/pprof/  live profiles, when Config.Pprof is set
 //
 // Every /v1/* response carries an X-Request-ID header — the client's,
@@ -107,6 +108,9 @@ type Server struct {
 	drainOnce sync.Once
 	draining  chan struct{} // closed when Shutdown begins
 
+	explainMu   sync.Mutex
+	lastExplain *ExplainState // most recent planner run's decision summary
+
 	requests  func(endpoint, code string) *metrics.Counter
 	latency   func(endpoint string) *metrics.Histogram
 	shed      *metrics.Counter
@@ -192,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/metrics", metrics.Handler(reg))
 	mux.Handle("/metrics.json", metrics.JSONHandler(reg))
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/explain", s.handleExplain)
 	if cfg.Pprof {
 		metrics.AttachPprof(mux)
 	}
