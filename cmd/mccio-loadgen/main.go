@@ -7,9 +7,16 @@
 //	mccio-loadgen -url http://127.0.0.1:9100 -n 500 -c 16
 //	mccio-loadgen -url http://127.0.0.1:9100 -keys 64 -zipf 1.2 -json load.json
 //	mccio-loadgen -url http://127.0.0.1:9100 -sim-every 10
+//	mccio-loadgen -urls http://127.0.0.1:9201,http://127.0.0.1:9202,http://127.0.0.1:9203
+//
+// With -urls (comma-separated) the generator sprays requests
+// round-robin across a plan-serving ring and the report gains a
+// per-shard breakdown: each shard's request count, hit rate (counting
+// replica hits and forwarded hits as served), and tail latency.
 //
 // With -json the report is also written as a JSON object whose field
-// names CI asserts on (hits, coalesced, hit_rate, throughput_rps, ...).
+// names CI asserts on (hits, coalesced, hit_rate, throughput_rps,
+// forwarded, shards, ...).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 func main() {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:9100", "base URL of the pland daemon")
+		urls     = flag.String("urls", "", "comma-separated base URLs of a plan-serving ring (overrides -url)")
 		n        = flag.Int("n", 200, "total requests to issue")
 		c        = flag.Int("c", 8, "concurrent closed-loop clients")
 		keys     = flag.Int("keys", 32, "distinct request layouts")
@@ -37,8 +45,15 @@ func main() {
 	)
 	flag.Parse()
 
+	var urlList []string
+	for _, u := range strings.Split(*urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urlList = append(urlList, u)
+		}
+	}
 	rep, err := pland.RunLoad(pland.LoadSpec{
 		URL:         *url,
+		URLs:        urlList,
 		Requests:    *n,
 		Concurrency: *c,
 		Keys:        *keys,
@@ -67,6 +82,14 @@ func main() {
 	fmt.Printf("latency     p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	fmt.Printf("plan cache  %.1f%% hit rate (%d hits, %d coalesced, %d misses)\n",
 		rep.HitRate*100, rep.Hits, rep.Coalesced, rep.Misses)
+	if rep.Forwarded > 0 || rep.ReplicaHits > 0 {
+		fmt.Printf("cluster     %d forwarded (%d fwd-hit, %d fwd-miss), %d replica hits\n",
+			rep.Forwarded, rep.ForwardHits, rep.ForwardMisses, rep.ReplicaHits)
+	}
+	for _, sr := range rep.Shards {
+		fmt.Printf("  shard %-28s %4d req, %5.1f%% hit, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+			sr.URL, sr.Requests, sr.HitRate*100, sr.P50Ms, sr.P95Ms, sr.P99Ms)
+	}
 	if rep.Simulations > 0 {
 		fmt.Printf("simulations %d\n", rep.Simulations)
 	}

@@ -8,15 +8,26 @@
 //	mccio-pland -addr :9100 -cache 4096 -workers 8 -queue 128
 //	mccio-pland -addr :9100 -trace serve.trace.json
 //	mccio-pland -addr :9100 -log requests.jsonl -pprof
+//	mccio-pland -addr :9201 -shard-id s1 \
+//	    -peers "s1=http://127.0.0.1:9201,s2=http://127.0.0.1:9202,s3=http://127.0.0.1:9203"
 //
 // Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
 // GET /metrics, GET /metrics.json, GET /debug/flight,
-// GET /debug/explain, and (with
+// GET /debug/explain, GET /debug/ring, and (with
 // -pprof) GET /debug/pprof/. SIGINT/SIGTERM drains gracefully:
 // in-flight requests finish (up to -drain-timeout) and the process
 // exits 0. SIGQUIT dumps the in-memory flight recorder — the last
 // -flight requests plus the slowest and the failures — to stderr as
 // JSONL and keeps serving.
+//
+// With -peers (a comma-separated id=url list naming every ring member,
+// including this daemon under -shard-id), the daemon joins a
+// plan-serving ring: a consistent-hash ring assigns each plan
+// fingerprint an owner shard, wrong-shard requests are proxied to the
+// owner in one internal hop, and hot fingerprints (≥ -hot-threshold
+// requests per -hot-window) are replicated into the local cache so the
+// Zipf head is served from every shard. Peer health is probed every
+// -probe-interval; dead shards are routed around.
 package main
 
 import (
@@ -43,12 +54,28 @@ func main() {
 		workers   = flag.Int("workers", 0, "planner/simulator worker count (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "admission backlog beyond in-flight jobs (negative = none)")
 		tracePath = flag.String("trace", "", "write server-side request spans to this trace file on exit")
-		drainT    = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
+		drainT    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 		logPath   = flag.String("log", "", "write one JSONL record per request to this file (\"-\" = stderr)")
 		flightN   = flag.Int("flight", 256, "flight recorder ring size (last N requests kept in memory)")
 		pprofOn   = flag.Bool("pprof", false, "mount live profiling handlers under /debug/pprof/")
+		shardID   = flag.String("shard-id", "", "this daemon's name on the plan-serving ring (required with -peers)")
+		peersFlag = flag.String("peers", "", "ring membership as id=url,id=url,... including this daemon; 2+ entries enable cluster mode")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
+		hotThresh = flag.Int("hot-threshold", 8, "requests per -hot-window at which a non-owned plan replicates locally")
+		hotWindow = flag.Duration("hot-window", 10*time.Second, "hot-key tracking window")
+		probeIv   = flag.Duration("probe-interval", 500*time.Millisecond, "peer health probe period")
 	)
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mccio-pland: %v\n", err)
+		os.Exit(1)
+	}
+	if len(peers) > 0 && *shardID == "" {
+		fmt.Fprintln(os.Stderr, "mccio-pland: -peers requires -shard-id")
+		os.Exit(1)
+	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -78,6 +105,12 @@ func main() {
 		Logger:        logger,
 		FlightSize:    *flightN,
 		Pprof:         *pprofOn,
+		ShardID:       *shardID,
+		Peers:         peers,
+		Vnodes:        *vnodes,
+		HotThreshold:  *hotThresh,
+		HotWindow:     *hotWindow,
+		ProbeInterval: *probeIv,
 	}
 	// The flag default 64 doubles as pland's own default; distinguish
 	// an explicit -queue 0 (no backlog at all) from the unset case.
@@ -95,6 +128,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mccio-pland: serving on http://%s (cache %d, workers %d)\n",
 		srv.Addr(), *cacheCap, w)
+	if len(peers) > 1 {
+		fmt.Fprintf(os.Stderr, "mccio-pland: shard %s of a %d-member ring\n", *shardID, len(peers))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
@@ -140,6 +176,34 @@ wait:
 		fmt.Fprintf(os.Stderr, "mccio-pland: wrote %d trace events to %s\n", tracer.Len(), *tracePath)
 	}
 	fmt.Fprintln(os.Stderr, "mccio-pland: drained cleanly")
+}
+
+// parsePeers parses the -peers flag: a comma-separated list of id=url
+// entries. An empty flag returns nil (single-node mode).
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q; want id=url", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate shard ID %q in -peers", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers %q names no members", s)
+	}
+	return peers, nil
 }
 
 // writeTrace serializes the trace; the extension picks the format

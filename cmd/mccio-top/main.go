@@ -1,7 +1,8 @@
 // Command mccio-top is a live terminal dashboard for a running
-// mccio-pland daemon: it polls /metrics.json and redraws request
-// rate, status mix, latency percentiles, cache hit rate, and shed /
-// queue pressure every interval.
+// mccio-pland daemon — or a whole plan-serving ring: it polls
+// /metrics.json and redraws request rate, status mix, latency
+// percentiles, cache hit rate, and shed / queue pressure every
+// interval.
 //
 // Usage:
 //
@@ -9,6 +10,11 @@
 //	mccio-top -url http://127.0.0.1:9100 -interval 1s
 //	mccio-top -url http://127.0.0.1:9100 -once        # one frame, no redraw
 //	mccio-top -url http://127.0.0.1:9100 -n 5         # five frames, then exit
+//	mccio-top -url http://127.0.0.1:9201,http://127.0.0.1:9202,http://127.0.0.1:9203
+//
+// With multiple comma-separated endpoints the dashboard shows one row
+// per shard (request rate, hit rate, planner runs, forwards, p99) and
+// a cluster-total panel computed from the merged snapshots.
 //
 // The first frame shows all-time percentiles; subsequent frames show
 // the sampling window when it saw requests.
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -45,7 +52,7 @@ func fetch(client *http.Client, url string) (*metrics.Snapshot, error) {
 
 func main() {
 	var (
-		url      = flag.String("url", "http://127.0.0.1:9100", "base URL of the pland daemon")
+		url      = flag.String("url", "http://127.0.0.1:9100", "base URL(s) of the pland daemon(s), comma-separated for a ring")
 		interval = flag.Duration("interval", 2*time.Second, "poll and redraw interval")
 		frames   = flag.Int("n", 0, "number of frames to draw (0 = until interrupted)")
 		once     = flag.Bool("once", false, "draw a single frame and exit (same as -n 1, without clearing the screen)")
@@ -55,27 +62,57 @@ func main() {
 		*frames = 1
 	}
 
+	var urls []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "mccio-top: no endpoint URLs")
+		os.Exit(1)
+	}
+
 	client := &http.Client{Timeout: 10 * time.Second}
-	target := *url + "/metrics.json"
-	var prev *metrics.Snapshot
+	prevs := make([]*metrics.Snapshot, len(urls))
+	var prevMerged *metrics.Snapshot
 	var prevAt time.Time
 	for i := 0; *frames == 0 || i < *frames; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		cur, err := fetch(client, target)
-		now := time.Now()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
-			os.Exit(1)
+		curs := make([]*metrics.Snapshot, len(urls))
+		for j, u := range urls {
+			cur, err := fetch(client, u+"/metrics.json")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			curs[j] = cur
 		}
-		m := top.Compute(prev, cur, now.Sub(prevAt).Seconds())
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
 		if !*once {
 			// ANSI clear + home: redraw in place like top(1).
 			fmt.Print("\x1b[2J\x1b[H")
-			fmt.Printf("mccio-top — %s — %s\n\n", *url, now.Format("15:04:05"))
+			fmt.Printf("mccio-top — %s — %s\n\n", strings.Join(urls, " "), now.Format("15:04:05"))
 		}
-		m.Render(os.Stdout)
-		prev, prevAt = cur, now
+		if len(urls) == 1 {
+			top.Compute(prevs[0], curs[0], dt).Render(os.Stdout)
+			prevs[0] = curs[0]
+		} else {
+			shards := make([]top.Model, len(urls))
+			snaps := make([]metrics.Snapshot, len(urls))
+			for j := range urls {
+				shards[j] = top.Compute(prevs[j], curs[j], dt)
+				snaps[j] = *curs[j]
+				prevs[j] = curs[j]
+			}
+			merged := metrics.MergeSnapshots(snaps...)
+			total := top.Compute(prevMerged, &merged, dt)
+			top.RenderCluster(os.Stdout, urls, shards, total)
+			prevMerged = &merged
+		}
+		prevAt = now
 	}
 }

@@ -21,7 +21,7 @@ import (
 // packages, and their commands.
 var docAuditPackages = []string{
 	"../sweep", "../bench", "../faults",
-	"../pland", "../logx", "../prof", "../top", "../explain",
+	"../pland", "../logx", "../prof", "../top", "../explain", "../ring",
 	"../../cmd/mccio-pland", "../../cmd/mccio-loadgen", "../../cmd/mccio-top",
 }
 

@@ -29,6 +29,8 @@ func TestRecordJSONLRoundTrip(t *testing.T) {
 			DurS: 0.003, Error: "pland: simulation failed: boom"},
 		{ReqID: "0000111122223333", Endpoint: "plan", Cache: "shed",
 			Status: 429, DurS: 0.0001, Error: "pland: admission queue full"},
+		{ReqID: "4444555566667777", Endpoint: "plan", Shard: "s1", Peer: "s2",
+			Cache: "forward-hit", Status: 200, Bytes: 2048, DurS: 0.002},
 	}
 	for _, rec := range want {
 		l.Request(rec)

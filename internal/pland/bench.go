@@ -3,6 +3,7 @@ package pland
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/bench"
@@ -11,12 +12,16 @@ import (
 
 // RunServeBench is the "serve" benchmark experiment: it starts an
 // in-process daemon on an ephemeral port, drives it with the Zipf load
-// generator, and persists the serving-side result as a trajectory row.
-// The wall-clock fields (throughput, percentiles) are host-dependent,
-// so the row is a capacity record, not a regression baseline; the
-// cache counters in the attached metrics snapshot are what CI asserts
-// on. reg receives both the daemon's metrics and the snapshot; nil
-// creates a private registry.
+// generator, and persists the serving-side result as a trajectory row;
+// then it repeats the run against a three-shard in-process ring and
+// persists one row per shard plus a cluster row. The wall-clock fields
+// (throughput, percentiles) are host-dependent, so the rows are
+// capacity records, not regression baselines; the cache counters in
+// the attached metrics snapshot are what CI asserts on. The ring phase
+// enforces the cluster's core invariant in-process: aggregate planner
+// runs across the shards must equal the key count — every layout
+// planned exactly once cluster-wide. reg receives the single-node
+// daemon's metrics and the snapshot; nil creates a private registry.
 func RunServeBench(o bench.Options, reg *metrics.Registry) (*bench.BenchFile, *bench.Table, error) {
 	if o.Seed == 0 {
 		o.Seed = 42
@@ -81,5 +86,119 @@ func RunServeBench(o bench.Options, reg *metrics.Registry) (*bench.BenchFile, *b
 	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%% (%d hits, %d coalesced, %d misses)", rep.HitRate*100, rep.Hits, rep.Coalesced, rep.Misses))
 	t.AddRow("simulations", fmt.Sprintf("%d", rep.Simulations))
 	t.AddRow("shed", fmt.Sprintf("%d", rep.Shed))
+
+	if _, err := runRingBench(o.Seed, spec.Keys, spec.ZipfS, file, t); err != nil {
+		return nil, nil, err
+	}
 	return file, t, nil
+}
+
+// ringShards is the ring phase's shard count.
+const ringShards = 3
+
+// runRingBench drives a three-shard in-process cluster with the same
+// Zipf workload and appends per-shard rows plus a cluster row to file
+// and the human table. It fails if any request errored or if the
+// shards' aggregate planner runs differ from the key count.
+func runRingBench(seed uint64, keys int, zipfS float64, file *bench.BenchFile, t *bench.Table) (*LoadReport, error) {
+	ids := [ringShards]string{"s1", "s2", "s3"}
+	lns := make([]net.Listener, ringShards)
+	peers := make(map[string]string, ringShards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		peers[ids[i]] = "http://" + ln.Addr().String()
+	}
+	regs := make([]*metrics.Registry, ringShards)
+	srvs := make([]*Server, ringShards)
+	serveErrs := make([]chan error, ringShards)
+	for i := range ids {
+		regs[i] = metrics.New()
+		srv, err := New(Config{
+			Listener:     lns[i],
+			ShardID:      ids[i],
+			Peers:        peers,
+			HotThreshold: 4,
+			Registry:     regs[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvs[i] = srv
+		serveErrs[i] = make(chan error, 1)
+		go func(i int) { serveErrs[i] <- srvs[i].Serve() }(i)
+	}
+
+	urls := make([]string, ringShards)
+	for i, id := range ids {
+		urls[i] = peers[id]
+	}
+	spec := LoadSpec{
+		URLs:        urls,
+		Requests:    400,
+		Concurrency: 8,
+		Keys:        keys,
+		ZipfS:       zipfS,
+		Seed:        seed,
+	}
+	rep, loadErr := RunLoad(spec)
+
+	for i := range srvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := srvs[i].Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("pland: ring shard %s shutdown: %w", ids[i], err)
+		}
+		if err := <-serveErrs[i]; err != nil {
+			return nil, err
+		}
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("pland: ring bench saw %d request errors", rep.Errors)
+	}
+
+	snaps := make([]metrics.Snapshot, ringShards)
+	for i, r := range regs {
+		snaps[i] = r.Snapshot()
+	}
+	merged := metrics.MergeSnapshots(snaps...)
+	runs, _ := merged.Get("mccio_pland_planner_runs_total", nil)
+	if int(runs) != spec.Keys {
+		return nil, fmt.Errorf("pland: ring planned %d times for %d keys; want exactly one planner run per key cluster-wide", int(runs), spec.Keys)
+	}
+
+	elapsed := rep.ElapsedS
+	for i, sr := range rep.Shards {
+		row := bench.BenchRow{
+			Key:      fmt.Sprintf("serve/ring shard=%s", ids[i]),
+			LatP50Ms: sr.P50Ms,
+			LatP95Ms: sr.P95Ms,
+			LatP99Ms: sr.P99Ms,
+			HitRate:  sr.HitRate,
+		}
+		if elapsed > 0 {
+			row.ThroughputRPS = float64(sr.Requests) / elapsed
+		}
+		file.Experiments = append(file.Experiments, row)
+	}
+	file.Experiments = append(file.Experiments, bench.BenchRow{
+		Key:           fmt.Sprintf("serve/ring keys=%d zipf=%.2f shards=%d", spec.Keys, spec.ZipfS, ringShards),
+		ThroughputRPS: rep.ThroughputRPS,
+		LatP50Ms:      rep.P50Ms,
+		LatP95Ms:      rep.P95Ms,
+		LatP99Ms:      rep.P99Ms,
+		HitRate:       rep.HitRate,
+	})
+
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"ring: %d shards, %d requests — hit rate %.1f%% (%d replica, %d fwd-hit, %d fwd-miss), planner ran %d× for %d keys",
+		ringShards, spec.Requests, rep.HitRate*100, rep.ReplicaHits, rep.ForwardHits, rep.ForwardMisses, int(runs), spec.Keys))
+	return rep, nil
 }

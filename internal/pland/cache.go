@@ -136,6 +136,45 @@ func (c *Cache) Get(key string, compute func() ([]byte, error)) ([]byte, CacheSt
 	return val, StatusMiss, err
 }
 
+// Lookup returns the bytes stored under key without computing on
+// absence — the peer-replica read path. A present key counts as a hit
+// and refreshes its LRU position; an absent key counts nothing (the
+// caller will forward, not compute).
+func (c *Cache) Lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores val under key unconditionally — the peer cache-fill path,
+// where the owner shard already computed the bytes and this shard
+// replicates them. Plans are a pure function of the fingerprint, so a
+// racing Get flight for the same key produces identical bytes and the
+// overwrite is harmless. The LRU capacity bound applies as in Get.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(len(c.items)))
+}
+
 // Len returns the number of stored plans.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,318 @@
+package pland
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ring"
+)
+
+// Forwarding-protocol headers. X-Forwarded-By carries the proxying
+// shard's ID and doubles as the loop guard: a daemon never re-forwards
+// a request that already took its one internal hop — if the ring views
+// disagree (a peer marked dead, a mid-deploy membership skew), the
+// receiving daemon serves locally rather than bouncing the request
+// around the ring.
+const (
+	headerForwardedBy = "X-Forwarded-By"
+	headerServedBy    = "X-Served-By"
+)
+
+// forwardTimeout bounds one internal hop. It is deliberately generous:
+// the owner may be computing the plan (a cold miss under load), and
+// the fallback on expiry is a local compute, not a client error.
+const forwardTimeout = 30 * time.Second
+
+// peer is one remote cluster member as seen from this daemon.
+type peer struct {
+	id  string
+	url string
+	// up is flipped by the health probe loop and, eagerly, by a failed
+	// forward, so one dead shard costs at most one timeout per peer
+	// before everyone routes around it.
+	up     atomic.Bool
+	gauge  *metrics.Gauge
+	lastMu sync.Mutex
+	last   string // last probe/forward error, for /debug/ring
+}
+
+// setUp records a health transition.
+func (p *peer) setUp(ok bool, errMsg string) {
+	p.up.Store(ok)
+	if ok {
+		p.gauge.Set(1)
+		errMsg = ""
+	} else {
+		p.gauge.Set(0)
+	}
+	p.lastMu.Lock()
+	p.last = errMsg
+	p.lastMu.Unlock()
+}
+
+// lastErr returns the most recent probe or forward error.
+func (p *peer) lastErr() string {
+	p.lastMu.Lock()
+	defer p.lastMu.Unlock()
+	return p.last
+}
+
+// clusterState is everything a daemon needs to act as one shard of a
+// plan-serving ring: the placement ring, the peer table with health,
+// the forwarding client, and the hot-key tracker that decides when a
+// non-owned fingerprint is worth replicating locally.
+type clusterState struct {
+	self   string
+	ring   *ring.Ring
+	vnodes int
+	peers  map[string]*peer // remote members only
+	client *http.Client
+	hot    *hotTracker
+
+	probeEvery time.Duration
+	stop       chan struct{}
+	wg         sync.WaitGroup
+
+	forwards     func(outcome string) *metrics.Counter
+	forwardedIn  *metrics.Counter
+	replicaHits  *metrics.Counter
+	replicaFills *metrics.Counter
+	fallbacks    *metrics.Counter
+}
+
+// newClusterState wires the ring, peers, and metrics. peers maps every
+// member ID (including self) to its base URL.
+func newClusterState(self string, peers map[string]string, vnodes int,
+	hot *hotTracker, probeEvery time.Duration, reg *metrics.Registry) (*clusterState, error) {
+	if _, ok := peers[self]; !ok {
+		return nil, fmt.Errorf("pland: shard ID %q is not in the peer list", self)
+	}
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if vnodes <= 0 {
+		vnodes = ring.DefaultVnodes
+	}
+	c := &clusterState{
+		self:   self,
+		ring:   ring.New(ids, vnodes),
+		vnodes: vnodes,
+		peers:  make(map[string]*peer, len(peers)-1),
+		client: &http.Client{
+			Timeout: forwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+		hot:        hot,
+		probeEvery: probeEvery,
+		stop:       make(chan struct{}),
+		forwardedIn: reg.Counter("mccio_pland_forwarded_in_total",
+			"Requests served on behalf of a peer shard (X-Forwarded-By present)."),
+		replicaHits: reg.Counter("mccio_pland_replica_hits_total",
+			"Non-owned fingerprints served from the local replica cache."),
+		replicaFills: reg.Counter("mccio_pland_replica_fills_total",
+			"Owner responses cached locally because the fingerprint is hot."),
+		fallbacks: reg.Counter("mccio_pland_forward_fallbacks_total",
+			"Forwards that failed at transport level and fell back to local compute."),
+	}
+	c.forwards = func(outcome string) *metrics.Counter {
+		return reg.Counter("mccio_pland_forwards_total",
+			"Requests proxied to their owner shard, by outcome.",
+			"outcome", outcome)
+	}
+	for _, id := range ids {
+		if id == self {
+			continue
+		}
+		p := &peer{id: id, url: peers[id],
+			gauge: reg.Gauge("mccio_pland_peer_up",
+				"Peer shard health as seen by this daemon (1 = answering /healthz).",
+				"peer", id)}
+		// Optimistic start: peers are presumed up until a probe or a
+		// forward says otherwise, so a cluster booting in any order
+		// forwards from the first request.
+		p.setUp(true, "")
+		c.peers[id] = p
+	}
+	return c, nil
+}
+
+// startProbes launches one health-probe loop per remote peer.
+func (c *clusterState) startProbes() {
+	for _, p := range c.peers {
+		c.wg.Add(1)
+		go c.probeLoop(p)
+	}
+}
+
+// stopProbes halts the probe loops, waits for them, and releases the
+// forwarding client's keep-alive connections so peer daemons can drain
+// without waiting on this one's idle conns.
+func (c *clusterState) stopProbes() {
+	close(c.stop)
+	c.wg.Wait()
+	c.client.CloseIdleConnections()
+}
+
+// probeLoop polls one peer's /healthz until the cluster shuts down. A
+// 200 marks the peer up; an error or any other status (503 while the
+// peer drains) marks it down so placement routes around it.
+func (c *clusterState) probeLoop(p *peer) {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.probeEvery)
+	defer tick.Stop()
+	probeClient := &http.Client{Timeout: c.probeEvery * 4}
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		resp, err := probeClient.Get(p.url + "/healthz")
+		switch {
+		case err != nil:
+			p.setUp(false, err.Error())
+		case resp.StatusCode != http.StatusOK:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			p.setUp(false, resp.Status)
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			p.setUp(true, "")
+		}
+	}
+}
+
+// route returns the shard that should serve fp right now: the first
+// healthy member of the fingerprint's replica order. Every daemon
+// computes the same order from the same ring, so while health views
+// agree, exactly one shard computes each plan. With the owner down the
+// next replica takes over deterministically; with everything down the
+// local daemon serves itself — degraded routing never fails a request.
+func (c *clusterState) route(fp string) string {
+	for _, id := range c.ring.Replicas(fp, c.ring.Len()) {
+		if id == c.self {
+			return id
+		}
+		if p := c.peers[id]; p != nil && p.up.Load() {
+			return id
+		}
+	}
+	return c.self
+}
+
+// forwardResult is the owner's answer to a proxied plan request.
+type forwardResult struct {
+	status int
+	cache  string // the owner's X-Cache verdict
+	body   []byte
+}
+
+// forward proxies a plan request body to the owner shard, propagating
+// the request ID so both daemons log the same one. A transport-level
+// failure eagerly marks the peer down (the probe loop will bring it
+// back) and returns an error; the caller falls back to local compute.
+func (c *clusterState) forward(p *peer, rawBody []byte, rid string) (*forwardResult, error) {
+	req, err := http.NewRequest(http.MethodPost, p.url+"/v1/plan", bytes.NewReader(rawBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwardedBy, c.self)
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.setUp(false, err.Error())
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		p.setUp(false, err.Error())
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		// A 5xx is the peer failing, not the request: treat it like a
+		// transport error and compute locally.
+		return nil, fmt.Errorf("pland: peer %s answered %s", p.id, resp.Status)
+	}
+	return &forwardResult{
+		status: resp.StatusCode,
+		cache:  resp.Header.Get("X-Cache"),
+		body:   body,
+	}, nil
+}
+
+// RingMember is one member's row in the /debug/ring response.
+type RingMember struct {
+	// ID is the member's shard ID; URL its base URL (empty for self).
+	ID  string `json:"id"`
+	URL string `json:"url,omitempty"`
+	// Self marks the answering daemon's own row.
+	Self bool `json:"self"`
+	// Up is the member's health as seen from this daemon (self is
+	// always up). LastError is the most recent probe or forward
+	// failure while down.
+	Up        bool   `json:"up"`
+	LastError string `json:"last_error,omitempty"`
+	// Share is the fraction of the fingerprint keyspace the member
+	// owns — exact ring arc length, not a sample.
+	Share float64 `json:"share"`
+}
+
+// RingStatus is the body of GET /debug/ring: the daemon's view of the
+// cluster — membership, health, ownership shares, and the hot-key
+// replication state.
+type RingStatus struct {
+	// ShardID is the answering daemon's ring name.
+	ShardID string `json:"shard_id"`
+	// Vnodes is the per-member virtual-node count.
+	Vnodes int `json:"vnodes"`
+	// HotThreshold and HotWindowS describe the replication policy:
+	// a fingerprint seen HotThreshold times within the sliding window
+	// is served from any shard's local copy.
+	HotThreshold int     `json:"hot_threshold"`
+	HotWindowS   float64 `json:"hot_window_s"`
+	// HotKeys is how many fingerprints are currently over the
+	// threshold on this shard.
+	HotKeys int `json:"hot_keys"`
+	// Members lists every ring member in sorted ID order.
+	Members []RingMember `json:"members"`
+}
+
+// status builds the /debug/ring body.
+func (c *clusterState) status(shardID string, threshold int, window time.Duration) RingStatus {
+	st := RingStatus{
+		ShardID:      shardID,
+		Vnodes:       c.vnodes,
+		HotThreshold: threshold,
+		HotWindowS:   window.Seconds(),
+		HotKeys:      c.hot.HotCount(time.Now()),
+	}
+	shares := c.ring.Shares()
+	for _, id := range c.ring.Members() {
+		m := RingMember{ID: id, Share: shares[id]}
+		if id == c.self {
+			m.Self, m.Up = true, true
+		} else if p := c.peers[id]; p != nil {
+			m.URL = p.url
+			m.Up = p.up.Load()
+			m.LastError = p.lastErr()
+		}
+		st.Members = append(st.Members, m)
+	}
+	return st
+}

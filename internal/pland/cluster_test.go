@@ -1,0 +1,495 @@
+package pland
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ring"
+)
+
+// testRing is an in-process plan-serving ring for tests.
+type testRing struct {
+	ids  []string
+	urls map[string]string
+	srvs map[string]*Server
+	regs map[string]*metrics.Registry
+	done map[string]chan error
+}
+
+// startRing boots n daemons that all know each other, with mutate
+// applied to every config before New. All members are torn down with
+// the test; stopping one early via stop() is fine.
+func startRing(t *testing.T, n int, mutate func(id string, cfg *Config)) *testRing {
+	t.Helper()
+	r := &testRing{
+		urls: make(map[string]string, n),
+		srvs: make(map[string]*Server, n),
+		regs: make(map[string]*metrics.Registry, n),
+		done: make(map[string]chan error, n),
+	}
+	lns := make(map[string]net.Listener, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i+1)
+		r.ids = append(r.ids, id)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[id] = ln
+		r.urls[id] = "http://" + ln.Addr().String()
+	}
+	for _, id := range r.ids {
+		reg := metrics.New()
+		cfg := Config{
+			Listener: lns[id],
+			ShardID:  id,
+			Peers:    r.urls,
+			Registry: reg,
+		}
+		if mutate != nil {
+			mutate(id, &cfg)
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.srvs[id] = srv
+		r.regs[id] = reg
+		done := make(chan error, 1)
+		r.done[id] = done
+		go func(srv *Server) { done <- srv.Serve() }(srv)
+	}
+	t.Cleanup(func() {
+		for _, id := range r.ids {
+			r.stop(t, id)
+		}
+	})
+	return r
+}
+
+// stop drains one member; repeated stops are no-ops. The deadline must
+// exceed 5s: a connection a peer's transport dialed but never used is
+// only reaped by graceful Shutdown once it is 5s old.
+func (r *testRing) stop(t *testing.T, id string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := r.srvs[id].Shutdown(ctx); err != nil {
+		t.Errorf("shutdown %s: %v", id, err)
+	}
+	select {
+	case err := <-r.done[id]:
+		if err != nil {
+			t.Errorf("serve %s: %v", id, err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Errorf("serve %s did not exit", id)
+	}
+	// Re-arm so a second stop (the cleanup) selects the default.
+	r.done[id] = closedErrChan()
+}
+
+func closedErrChan() chan error {
+	ch := make(chan error, 1)
+	ch <- nil
+	return ch
+}
+
+// counter reads one counter's total from a shard's registry.
+func (r *testRing) counter(t *testing.T, id, name string) float64 {
+	t.Helper()
+	snap := r.regs[id].Snapshot()
+	total := 0.0
+	for _, f := range snap.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, sm := range f.Samples {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+// requestOwnedBy generates plan-request bodies with varying layouts
+// until it finds one whose fingerprint the given shard owns (when
+// wantOwner is true) or does not own (false). The daemons and this
+// helper compute placement from the same pure ring, so the result is
+// stable across processes.
+func requestOwnedBy(t *testing.T, ids []string, shard string, wantOwner bool) []byte {
+	t.Helper()
+	rg := ring.New(ids, ring.DefaultVnodes)
+	for k := 0; k < 64; k++ {
+		block := int64(64<<10 + k*4096)
+		req := testRequest([][]Extent{
+			{{0, block}, {4 * block, block}},
+			{{block, block}, {5 * block, block}},
+		})
+		key := fp(t, req)
+		if (rg.Owner(key) == shard) == wantOwner {
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return body
+		}
+	}
+	t.Fatalf("no layout found with owner==%s %v in 64 tries", shard, wantOwner)
+	return nil
+}
+
+func TestClusterForwardThenReplicate(t *testing.T) {
+	r := startRing(t, 2, func(id string, cfg *Config) {
+		cfg.HotThreshold = 1 // every forwarded key replicates immediately
+	})
+	// A body owned by s2, posted to s1: the wrong shard.
+	body := requestOwnedBy(t, r.ids, "s2", true)
+
+	resp, data := post(t, r.urls["s1"]+"/v1/plan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first post: %d %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "forward-miss" {
+		t.Fatalf("first post X-Cache = %q, want forward-miss", got)
+	}
+	if got := resp.Header.Get(headerServedBy); got != "s2" {
+		t.Fatalf("X-Served-By = %q, want s2", got)
+	}
+
+	// The bytes were replicated on the way back (hot threshold 1), so
+	// the repeat on the wrong shard is a local replica-hit.
+	resp2, data2 := post(t, r.urls["s1"]+"/v1/plan", body)
+	if got := resp2.Header.Get("X-Cache"); got != "replica-hit" {
+		t.Fatalf("second post X-Cache = %q, want replica-hit", got)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("replica-hit bytes differ from the owner's response")
+	}
+
+	// The owner computed the plan exactly once; the wrong shard never
+	// ran the planner.
+	if runs := r.counter(t, "s2", "mccio_pland_planner_runs_total"); runs != 1 {
+		t.Fatalf("owner planner runs = %v, want 1", runs)
+	}
+	if runs := r.counter(t, "s1", "mccio_pland_planner_runs_total"); runs != 0 {
+		t.Fatalf("non-owner planner runs = %v, want 0", runs)
+	}
+	if n := r.counter(t, "s2", "mccio_pland_forwarded_in_total"); n != 1 {
+		t.Fatalf("owner forwarded-in = %v, want 1", n)
+	}
+	if n := r.counter(t, "s1", "mccio_pland_replica_fills_total"); n != 1 {
+		t.Fatalf("replica fills = %v, want 1", n)
+	}
+}
+
+func TestClusterForwardHitOnWarmOwner(t *testing.T) {
+	r := startRing(t, 2, nil) // default threshold: nothing replicates this fast
+	body := requestOwnedBy(t, r.ids, "s2", true)
+
+	// Warm the owner directly, then hit it through the wrong shard.
+	post(t, r.urls["s2"]+"/v1/plan", body)
+	resp, _ := post(t, r.urls["s1"]+"/v1/plan", body)
+	if got := resp.Header.Get("X-Cache"); got != "forward-hit" {
+		t.Fatalf("X-Cache = %q, want forward-hit", got)
+	}
+}
+
+func TestClusterRequestIDPropagatesAcrossHop(t *testing.T) {
+	r := startRing(t, 2, nil)
+	body := requestOwnedBy(t, r.ids, "s2", true)
+	const rid = "feedfacefeedface"
+
+	req, err := http.NewRequest(http.MethodPost, r.urls["s1"]+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Fatalf("response X-Request-ID = %q, want %q", got, rid)
+	}
+
+	// The same ID must appear in both daemons' flight recorders: once
+	// for the client-facing hop, once for the internal one.
+	for _, id := range r.ids {
+		var buf bytes.Buffer
+		if err := r.srvs[id].Flight().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), rid) {
+			t.Fatalf("shard %s flight recorder is missing request ID %s:\n%s", id, rid, buf.String())
+		}
+	}
+}
+
+func TestClusterLoopGuard(t *testing.T) {
+	r := startRing(t, 2, nil)
+	// Posted to s1 with a forged forwarded-by header, a body s2 owns
+	// must still be served locally — one hop max, even when ring views
+	// disagree.
+	body := requestOwnedBy(t, r.ids, "s2", true)
+	req, err := http.NewRequest(http.MethodPost, r.urls["s1"]+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwardedBy, "s2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (served locally)", got)
+	}
+	if got := resp.Header.Get(headerServedBy); got != "" {
+		t.Fatalf("X-Served-By = %q, want empty (no second hop)", got)
+	}
+	if runs := r.counter(t, "s1", "mccio_pland_planner_runs_total"); runs != 1 {
+		t.Fatalf("s1 planner runs = %v, want 1 (local compute)", runs)
+	}
+	if runs := r.counter(t, "s2", "mccio_pland_planner_runs_total"); runs != 0 {
+		t.Fatalf("s2 planner runs = %v, want 0", runs)
+	}
+}
+
+func TestClusterDeadOwnerFallsBackToLocalCompute(t *testing.T) {
+	r := startRing(t, 2, func(id string, cfg *Config) {
+		// Slow probes: the test exercises the eager mark-down on a
+		// failed forward, not the probe loop.
+		cfg.ProbeInterval = time.Hour
+	})
+	body := requestOwnedBy(t, r.ids, "s2", true)
+	r.stop(t, "s2")
+
+	// The forward to the dead owner fails at transport level; the
+	// client still gets a 200, computed locally.
+	resp, data := post(t, r.urls["s1"]+"/v1/plan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (local fallback)", got)
+	}
+	if n := r.counter(t, "s1", "mccio_pland_forward_fallbacks_total"); n != 1 {
+		t.Fatalf("fallbacks = %v, want 1", n)
+	}
+
+	// The failed forward marked the peer down, so the repeat routes to
+	// self immediately and hits the local cache.
+	resp2, _ := post(t, r.urls["s1"]+"/v1/plan", body)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if n := r.counter(t, "s1", "mccio_pland_forward_fallbacks_total"); n != 1 {
+		t.Fatalf("fallbacks after mark-down = %v, want still 1", n)
+	}
+}
+
+func TestClusterHealthzAndRing(t *testing.T) {
+	r := startRing(t, 3, nil)
+	resp, err := http.Get(r.urls["s1"] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ShardID != "s1" || h.Peers != 2 || h.PeersUp != 2 {
+		t.Fatalf("healthz = %+v, want shard s1 with 2/2 peers up", h)
+	}
+
+	resp, err = http.Get(r.urls["s1"] + "/debug/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RingStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardID != "s1" || len(st.Members) != 3 {
+		t.Fatalf("ring status = %+v", st)
+	}
+	shareSum := 0.0
+	for _, m := range st.Members {
+		if !m.Up {
+			t.Fatalf("member %s down in a healthy ring", m.ID)
+		}
+		if m.Self != (m.ID == "s1") {
+			t.Fatalf("self flag wrong on %s", m.ID)
+		}
+		shareSum += m.Share
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("ownership shares sum to %v, want 1", shareSum)
+	}
+}
+
+func TestRingEndpointOnSingleNode(t *testing.T) {
+	srv := startServer(t, Config{})
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-node /debug/ring status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRunLoadClusterMode(t *testing.T) {
+	r := startRing(t, 3, func(id string, cfg *Config) {
+		cfg.HotThreshold = 2
+	})
+	urls := make([]string, 0, 3)
+	for _, id := range r.ids {
+		urls = append(urls, r.urls[id])
+	}
+	rep, err := RunLoad(LoadSpec{
+		URLs:        urls,
+		Requests:    120,
+		Concurrency: 4,
+		Keys:        12,
+		ZipfS:       1.1,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("cluster load saw %d errors: %+v", rep.Errors, rep.StatusCounts)
+	}
+	if rep.Forwarded == 0 {
+		t.Fatal("round-robin over 3 shards must forward some requests")
+	}
+	if len(rep.Shards) != 3 {
+		t.Fatalf("shard reports = %d, want 3", len(rep.Shards))
+	}
+	total := 0
+	for _, sr := range rep.Shards {
+		total += sr.Requests
+	}
+	if total != rep.Requests {
+		t.Fatalf("shard requests sum to %d, want %d", total, rep.Requests)
+	}
+	// Every fingerprint is planned at most once cluster-wide.
+	runs := 0.0
+	for _, id := range r.ids {
+		runs += r.counter(t, id, "mccio_pland_planner_runs_total")
+	}
+	if int(runs) != 12 {
+		t.Fatalf("aggregate planner runs = %v, want 12 (one per key)", runs)
+	}
+}
+
+// TestClusterConcurrentForwardEvictionStress drives a tiny-cache ring
+// from many goroutines so forwards, hot fills, evictions, and health
+// probes all interleave — the -race CI pass is the assertion.
+func TestClusterConcurrentForwardEvictionStress(t *testing.T) {
+	r := startRing(t, 3, func(id string, cfg *Config) {
+		cfg.CacheCapacity = 2 // constant eviction pressure
+		cfg.HotThreshold = 1  // every forward fills
+		cfg.ProbeInterval = 10 * time.Millisecond
+	})
+	const keys = 8
+	bodies := make([][]byte, keys)
+	for k := range bodies {
+		block := int64(32<<10 + k*4096)
+		req := testRequest([][]Extent{{{0, block}, {2 * block, block}}})
+		var err error
+		if bodies[k], err = json.Marshal(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	urls := make([]string, 0, 3)
+	for _, id := range r.ids {
+		urls = append(urls, r.urls[id])
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	defer client.CloseIdleConnections()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				url := urls[(g+i)%len(urls)] + "/v1/plan"
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[(g*7+i)%keys]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHotTrackerWindowSlide(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	h := newHotTracker(3, 10*time.Second)
+	if h.Observe("k", t0) || h.Observe("k", t0.Add(time.Second)) {
+		t.Fatal("two observations must stay below threshold 3")
+	}
+	if !h.Observe("k", t0.Add(2*time.Second)) {
+		t.Fatal("third observation within the window must be hot")
+	}
+	if h.HotCount(t0.Add(3*time.Second)) != 1 {
+		t.Fatal("one key should be hot")
+	}
+	// One window later the counts shift to the previous generation and
+	// still contribute.
+	if !h.Observe("k", t0.Add(11*time.Second)) {
+		t.Fatal("prev-generation counts must keep the key hot")
+	}
+	// After two idle windows everything cools off.
+	if h.Observe("k", t0.Add(40*time.Second)) {
+		t.Fatal("key must cool off after two idle windows")
+	}
+	if h.HotCount(t0.Add(41*time.Second)) != 0 {
+		t.Fatal("no keys should be hot after the reset")
+	}
+
+	// The disabled (nil) tracker never reports hot.
+	var nilTracker *hotTracker
+	if nilTracker.Observe("k", t0) || nilTracker.HotCount(t0) != 0 {
+		t.Fatal("nil tracker must be inert")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -157,19 +158,26 @@ func (s *Server) fail(w http.ResponseWriter, rec *logx.Record, status int, msg s
 
 // handlePlan serves POST /v1/plan: canonicalize, fingerprint, then
 // cache-hit or compute. Hits and coalesced waits bypass admission;
-// only the planner run of a miss occupies a pool slot.
+// only the planner run of a miss occupies a pool slot. In cluster
+// mode, a fingerprint owned by another shard takes one internal hop to
+// its owner first (serveClustered); a request that already took that
+// hop (X-Forwarded-By set) is always served locally — the loop guard.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
-	rec := logx.Record{ReqID: rid, Endpoint: "plan"}
+	rec := logx.Record{ReqID: rid, Endpoint: "plan", Shard: s.cfg.ShardID}
 	if r.Method != http.MethodPost {
 		s.fail(w, &rec, http.StatusMethodNotAllowed, "POST only", start)
 		return
 	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, &rec, http.StatusBadRequest, "bad request body: "+err.Error(), start)
+		return
+	}
 	var req PlanRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		s.fail(w, &rec, http.StatusBadRequest, "bad request body: "+err.Error(), start)
 		return
 	}
@@ -180,7 +188,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := canon.Fingerprint()
 	rec.Fingerprint = fp
+	forwardedBy := r.Header.Get(headerForwardedBy)
+	if forwardedBy != "" {
+		rec.Peer = forwardedBy
+		if s.clu != nil {
+			s.clu.forwardedIn.Inc()
+		}
+	}
 	sp := s.tracer.BeginID(PhaseServePlan, obs.NoLoc, rid)
+	if s.clu != nil && forwardedBy == "" {
+		if s.serveClustered(w, &rec, sp, fp, raw, rid, start) {
+			return
+		}
+	}
 
 	body, status, err := s.cache.Get(fp, func() ([]byte, error) {
 		return s.admitPlan(canon, fp, &rec)
@@ -198,13 +218,104 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec.Cache = status.String()
+	s.writePlanBody(w, &rec, fp, body, start)
+}
+
+// serveClustered is the cluster routing step of handlePlan, reached
+// only for first-hop requests (no X-Forwarded-By). It reports true
+// when it fully served the request; false falls through to the normal
+// local path — either because this shard is the fingerprint's place to
+// be (owner, or every better replica is down) or because the forward
+// failed and local compute is the never-fail-the-client fallback.
+//
+// The verdicts it produces, in priority order:
+//
+//	replica-hit   the fingerprint is in the local cache even though a
+//	              peer owns it (an earlier hot fill) — served locally
+//	forward-hit   proxied to the owner, who had it cached (or
+//	              coalesced onto a run already in flight)
+//	forward-miss  proxied to the owner, who ran the planner
+func (s *Server) serveClustered(w http.ResponseWriter, rec *logx.Record, sp obs.Span, fp string, raw []byte, rid string, start time.Time) bool {
+	target := s.clu.route(fp)
+	if target == s.clu.self {
+		return false
+	}
+	hot := s.clu.hot.Observe(fp, time.Now())
+	if body, ok := s.cache.Lookup(fp); ok {
+		s.clu.replicaHits.Inc()
+		sp.EndBytes(int64(len(body)), 0)
+		rec.Cache = "replica-hit"
+		s.writePlanBody(w, rec, fp, body, start)
+		return true
+	}
+	res, err := s.clu.forward(s.clu.peers[target], raw, rid)
+	if err != nil {
+		// Owner unreachable: compute locally. The peer is already
+		// marked down, so the next request routes around it without
+		// paying the timeout again.
+		s.clu.fallbacks.Inc()
+		s.clu.forwards("fallback").Inc()
+		return false
+	}
+	rec.Peer = target
+	w.Header().Set(headerServedBy, target)
+	if res.status != http.StatusOK {
+		// The owner's answer to a bad or shed request is authoritative
+		// — the same request would fail identically here. Relay it.
+		s.clu.forwards("relayed").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		if res.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		sp.End()
+		w.WriteHeader(res.status)
+		w.Write(res.body)
+		rec.Status = res.status
+		rec.Bytes = int64(len(res.body))
+		s.finish(rec, start)
+		return true
+	}
+	verdict := "forward-hit"
+	if res.cache == StatusMiss.String() {
+		verdict = "forward-miss"
+		s.clu.forwards("miss").Inc()
+	} else {
+		s.clu.forwards("hit").Inc()
+	}
+	if hot {
+		// Hot-key replication: keep the owner's bytes so the next
+		// request for this Zipf head is a local replica-hit.
+		s.cache.Put(fp, res.body)
+		s.clu.replicaFills.Inc()
+	}
+	sp.EndBytes(int64(len(res.body)), 0)
+	rec.Cache = verdict
+	s.writePlanBody(w, rec, fp, res.body, start)
+	return true
+}
+
+// writePlanBody writes a successful plan response — headers, body,
+// bookkeeping — with rec.Cache as the X-Cache verdict.
+func (s *Server) writePlanBody(w http.ResponseWriter, rec *logx.Record, fp string, body []byte, start time.Time) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", status.String())
+	w.Header().Set("X-Cache", rec.Cache)
 	w.Header().Set("X-Fingerprint", fp)
 	w.Write(body)
 	rec.Status = http.StatusOK
 	rec.Bytes = int64(len(body))
-	s.finish(&rec, start)
+	s.finish(rec, start)
+}
+
+// handleRing serves GET /debug/ring: this daemon's view of the cluster
+// — membership, per-peer health, exact ownership shares, and the hot-
+// key state. 404 on a single-node daemon.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	if s.clu == nil {
+		writeJSONError(w, http.StatusNotFound, "not clustered (no -peers)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.clu.status(s.cfg.ShardID, s.cfg.HotThreshold, s.cfg.HotWindow))
 }
 
 // admitPlan runs the planner through admission control: the job takes
@@ -338,7 +449,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
-	rec := logx.Record{ReqID: rid, Endpoint: "simulate"}
+	rec := logx.Record{ReqID: rid, Endpoint: "simulate", Shard: s.cfg.ShardID}
 	if r.Method != http.MethodPost {
 		s.fail(w, &rec, http.StatusMethodNotAllowed, "POST only", start)
 		return
@@ -464,6 +575,14 @@ type HealthResponse struct {
 	UptimeS float64 `json:"uptime_s"`
 	// CacheEntries is the plan cache's current entry count.
 	CacheEntries int `json:"cache_entries"`
+	// ShardID is the daemon's ring name (the -shard-id flag); omitted
+	// when unnamed.
+	ShardID string `json:"shard_id,omitempty"`
+	// Peers and PeersUp count the other ring members and how many of
+	// them this daemon currently sees as healthy; both zero on a
+	// single-node daemon.
+	Peers   int `json:"peers,omitempty"`
+	PeersUp int `json:"peers_up,omitempty"`
 }
 
 // handleHealth serves GET /healthz: 200 with a JSON body while
@@ -475,6 +594,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status:       "ok",
 		UptimeS:      time.Since(s.started).Seconds(),
 		CacheEntries: s.cache.Len(),
+		ShardID:      s.cfg.ShardID,
+	}
+	if s.clu != nil {
+		resp.Peers = len(s.clu.peers)
+		for _, p := range s.clu.peers {
+			if p.up.Load() {
+				resp.PeersUp++
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if s.isDraining() {

@@ -1,0 +1,102 @@
+package pland
+
+import (
+	"sync"
+	"time"
+)
+
+// hotMaxTracked bounds the number of fingerprints a hotTracker counts
+// per window. A key first seen after the window already tracks this
+// many distinct keys is by definition in the cold tail — the Zipf
+// heads that replication exists for show up within the first few
+// requests of every window.
+const hotMaxTracked = 8192
+
+// hotTracker detects the Zipf-head fingerprints worth replicating: it
+// counts requests per fingerprint over a sliding ~2-window interval
+// and reports a key hot once its count crosses the threshold. The
+// two-generation scheme (current window plus the previous one) gives a
+// smooth slide without per-key timestamps: rotation is O(1), memory is
+// bounded by hotMaxTracked per generation, and a key that goes quiet
+// is forgotten after at most two windows.
+//
+// A nil tracker is the disabled tracker (single-node daemon): Observe
+// reports false at zero cost.
+type hotTracker struct {
+	mu        sync.Mutex
+	window    time.Duration
+	threshold int
+	rotated   time.Time
+	cur, prev map[string]int
+}
+
+// newHotTracker builds a tracker that calls a fingerprint hot once it
+// sees threshold requests within the sliding window.
+func newHotTracker(threshold int, window time.Duration) *hotTracker {
+	return &hotTracker{
+		window:    window,
+		threshold: threshold,
+		cur:       make(map[string]int),
+		prev:      map[string]int{},
+	}
+}
+
+// Observe counts one request for fp at time now and reports whether fp
+// is hot — at or above the threshold over the sliding interval.
+func (h *hotTracker) Observe(fp string, now time.Time) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotate(now)
+	n := h.cur[fp]
+	if n > 0 || len(h.cur) < hotMaxTracked {
+		n++
+		h.cur[fp] = n
+	}
+	return n+h.prev[fp] >= h.threshold
+}
+
+// rotate advances the window generations. Callers hold h.mu.
+func (h *hotTracker) rotate(now time.Time) {
+	if h.rotated.IsZero() {
+		h.rotated = now
+		return
+	}
+	gap := now.Sub(h.rotated)
+	switch {
+	case gap >= 2*h.window:
+		// Idle for more than two windows: everything has cooled off.
+		h.cur = make(map[string]int)
+		h.prev = map[string]int{}
+		h.rotated = now
+	case gap >= h.window:
+		h.prev = h.cur
+		h.cur = make(map[string]int)
+		h.rotated = now
+	}
+}
+
+// HotCount returns how many tracked fingerprints are currently at or
+// above the threshold — the /debug/ring "hot_keys" figure.
+func (h *hotTracker) HotCount(now time.Time) int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotate(now)
+	n := 0
+	for fp, c := range h.cur {
+		if c+h.prev[fp] >= h.threshold {
+			n++
+		}
+	}
+	for fp, c := range h.prev {
+		if h.cur[fp] == 0 && c >= h.threshold {
+			n++
+		}
+	}
+	return n
+}

@@ -25,6 +25,12 @@ import (
 type LoadSpec struct {
 	// URL is the daemon's base URL, e.g. "http://127.0.0.1:9100".
 	URL string
+	// URLs, when it has two or more entries, switches the generator to
+	// cluster mode: request i goes to URLs[i % len(URLs)] — a
+	// deterministic round-robin spray across the ring, the access
+	// pattern of clients behind a dumb load balancer — and the report
+	// gains a per-shard breakdown. Empty falls back to URL.
+	URLs []string
 	// Requests is the total request count; <= 0 means 200.
 	Requests int
 	// Concurrency is the closed-loop client count; <= 0 means 8.
@@ -54,6 +60,14 @@ type LoadReport struct {
 	Misses      int `json:"misses"`
 	Coalesced   int `json:"coalesced"`
 	Simulations int `json:"simulations"`
+	// Cluster-mode verdicts, zero against a single node: ReplicaHits
+	// are plans served from a non-owner shard's local copy,
+	// ForwardHits/ForwardMisses took the internal hop to the owner
+	// (who had / had not the plan cached), and Forwarded is their sum.
+	ReplicaHits   int `json:"replica_hits"`
+	ForwardHits   int `json:"forward_hits"`
+	ForwardMisses int `json:"forward_misses"`
+	Forwarded     int `json:"forwarded"`
 	// ElapsedS is the wall-clock run duration in seconds.
 	ElapsedS float64 `json:"elapsed_s"`
 	// ThroughputRPS is completed requests per wall-clock second.
@@ -72,10 +86,42 @@ type LoadReport struct {
 	// ErrorRate is the fraction of requests that did not return 2xx —
 	// sheds, client/server errors, and transport failures combined.
 	ErrorRate float64 `json:"error_rate"`
+	// Shards is the per-endpoint breakdown, present only in cluster
+	// mode (two or more URLs), ordered as the URLs were given.
+	Shards []ShardReport `json:"shards,omitempty"`
+}
+
+// ShardReport is one endpoint's slice of a cluster-mode load run, as
+// observed from the client side.
+type ShardReport struct {
+	// URL is the shard's base URL.
+	URL string `json:"url"`
+	// Requests is how many requests this shard was sent; Errors counts
+	// its non-2xx and transport failures.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Hits through ForwardMisses break plan lookups down by X-Cache
+	// verdict at this shard.
+	Hits          int `json:"hits"`
+	Misses        int `json:"misses"`
+	Coalesced     int `json:"coalesced"`
+	ReplicaHits   int `json:"replica_hits"`
+	ForwardHits   int `json:"forward_hits"`
+	ForwardMisses int `json:"forward_misses"`
+	// HitRate is the fraction of this shard's plan lookups that did
+	// not run the planner anywhere in the cluster.
+	HitRate float64 `json:"hit_rate"`
+	// P50Ms, P95Ms, P99Ms are this shard's latency percentiles.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // withDefaults fills the spec's zero values.
 func (s LoadSpec) withDefaults() LoadSpec {
+	if len(s.URLs) == 0 {
+		s.URLs = []string{s.URL}
+	}
 	if s.Requests <= 0 {
 		s.Requests = 200
 	}
@@ -133,26 +179,60 @@ func loadBodies(s LoadSpec) (plan, sim [][]byte, err error) {
 	return plan, sim, nil
 }
 
-// loadCounts is one client's tally, merged after the run.
+// shardCounts is one client's tally against one shard, merged after
+// the run.
+type shardCounts struct {
+	requests, errors, shed, sims                                     int
+	hits, misses, coalesced, replicaHits, forwardHits, forwardMisses int
+	status                                                           map[string]int
+	latencies                                                        []float64 // seconds
+}
+
+// loadCounts is one client's tally: one shardCounts per target URL.
 type loadCounts struct {
-	errors, shed, hits, misses, coalesced, sims int
-	status                                      map[string]int
-	latencies                                   []float64 // seconds
+	shards []shardCounts
 }
 
 // addStatus bumps one status-code bucket ("200", "429", or "net" for a
 // transport failure).
-func (c *loadCounts) addStatus(code string) {
+func (c *shardCounts) addStatus(code string) {
 	if c.status == nil {
 		c.status = make(map[string]int)
 	}
 	c.status[code]++
 }
 
-// RunLoad drives the daemon with spec and reports throughput, latency
-// percentiles, and cache behavior as observed from the client side
-// (X-Cache headers). It is the engine behind cmd/mccio-loadgen and the
-// serve benchmark experiment.
+// addVerdict buckets one OK plan response by its X-Cache verdict.
+func (c *shardCounts) addVerdict(verdict string) {
+	switch verdict {
+	case "hit":
+		c.hits++
+	case "coalesced":
+		c.coalesced++
+	case "replica-hit":
+		c.replicaHits++
+	case "forward-hit":
+		c.forwardHits++
+	case "forward-miss":
+		c.forwardMisses++
+	default:
+		c.misses++
+	}
+}
+
+// lookups is the shard's plan-lookup count; served is how many of
+// them avoided a planner run anywhere in the cluster.
+func (c *shardCounts) lookups() (lookups, served int) {
+	lookups = c.hits + c.misses + c.coalesced + c.replicaHits + c.forwardHits + c.forwardMisses
+	served = c.hits + c.coalesced + c.replicaHits + c.forwardHits
+	return
+}
+
+// RunLoad drives the daemon — or, with multiple URLs, the whole ring —
+// with spec and reports throughput, latency percentiles, and cache
+// behavior as observed from the client side (X-Cache headers). It is
+// the engine behind cmd/mccio-loadgen and the serve benchmark
+// experiment.
 func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	spec = spec.withDefaults()
 	planBodies, simBodies, err := loadBodies(spec)
@@ -167,11 +247,12 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 			MaxIdleConnsPerHost: spec.Concurrency * 2,
 		},
 	}
-	planURL := spec.URL + "/v1/plan"
-	simURL := spec.URL + "/v1/simulate"
 
 	var next atomic.Int64
 	counts := make([]loadCounts, spec.Concurrency)
+	for w := range counts {
+		counts[w].shards = make([]shardCounts, len(spec.URLs))
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < spec.Concurrency; w++ {
@@ -179,7 +260,6 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		go func(w int) {
 			defer wg.Done()
 			rng := stats.NewRNG(sweep.Seed(spec.Seed, w))
-			tally := &counts[w]
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= spec.Requests {
@@ -193,10 +273,13 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				if i >= spec.Keys {
 					key = zipf.Sample(rng)
 				}
-				url, body := planURL, planBodies[key]
+				shard := i % len(spec.URLs)
+				tally := &counts[w].shards[shard]
+				tally.requests++
+				url, body := spec.URLs[shard]+"/v1/plan", planBodies[key]
 				isSim := spec.SimEvery > 0 && i >= spec.Keys && i%spec.SimEvery == 0
 				if isSim {
-					url, body = simURL, simBodies[key]
+					url, body = spec.URLs[shard]+"/v1/simulate", simBodies[key]
 					tally.sims++
 				}
 				t0 := time.Now()
@@ -216,40 +299,69 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				case resp.StatusCode != http.StatusOK:
 					tally.errors++
 				case !isSim:
-					switch resp.Header.Get("X-Cache") {
-					case "hit":
-						tally.hits++
-					case "coalesced":
-						tally.coalesced++
-					default:
-						tally.misses++
-					}
+					tally.addVerdict(resp.Header.Get("X-Cache"))
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	// Release the keep-alive pool now rather than at GC: a conn the
+	// transport dialed but never used sits in StateNew server-side,
+	// where a graceful Shutdown waits ~5s before reaping it.
+	client.CloseIdleConnections()
 
 	rep := &LoadReport{
 		Requests:     spec.Requests,
 		ElapsedS:     elapsed,
 		StatusCounts: make(map[string]int),
 	}
+	// Fold the per-worker tallies into one merged shardCounts per URL,
+	// then the shard rows into the cluster-wide report.
+	merged := make([]shardCounts, len(spec.URLs))
+	for w := range counts {
+		for s := range counts[w].shards {
+			m, c := &merged[s], &counts[w].shards[s]
+			m.requests += c.requests
+			m.errors += c.errors
+			m.shed += c.shed
+			m.sims += c.sims
+			m.hits += c.hits
+			m.misses += c.misses
+			m.coalesced += c.coalesced
+			m.replicaHits += c.replicaHits
+			m.forwardHits += c.forwardHits
+			m.forwardMisses += c.forwardMisses
+			if len(c.status) > 0 && m.status == nil {
+				m.status = make(map[string]int)
+			}
+			for code, n := range c.status {
+				m.status[code] += n
+			}
+			m.latencies = append(m.latencies, c.latencies...)
+		}
+	}
 	var lats []float64
-	for i := range counts {
-		c := &counts[i]
-		rep.Errors += c.errors
-		rep.Shed += c.shed
-		rep.Hits += c.hits
-		rep.Misses += c.misses
-		rep.Coalesced += c.coalesced
-		rep.Simulations += c.sims
-		for code, n := range c.status {
+	for s := range merged {
+		m := &merged[s]
+		rep.Errors += m.errors
+		rep.Shed += m.shed
+		rep.Hits += m.hits
+		rep.Misses += m.misses
+		rep.Coalesced += m.coalesced
+		rep.ReplicaHits += m.replicaHits
+		rep.ForwardHits += m.forwardHits
+		rep.ForwardMisses += m.forwardMisses
+		rep.Simulations += m.sims
+		for code, n := range m.status {
 			rep.StatusCounts[code] += n
 		}
-		lats = append(lats, c.latencies...)
+		lats = append(lats, m.latencies...)
+		if len(spec.URLs) > 1 {
+			rep.Shards = append(rep.Shards, shardReport(spec.URLs[s], m))
+		}
 	}
+	rep.Forwarded = rep.ForwardHits + rep.ForwardMisses
 	if spec.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors+rep.Shed) / float64(spec.Requests)
 	}
@@ -260,8 +372,42 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	rep.P50Ms = stats.Percentile(lats, 50) * 1e3
 	rep.P95Ms = stats.Percentile(lats, 95) * 1e3
 	rep.P99Ms = stats.Percentile(lats, 99) * 1e3
-	if lookups := rep.Hits + rep.Misses + rep.Coalesced; lookups > 0 {
-		rep.HitRate = float64(rep.Hits+rep.Coalesced) / float64(lookups)
+	if lookups, served := foldLookups(merged); lookups > 0 {
+		rep.HitRate = float64(served) / float64(lookups)
 	}
 	return rep, nil
+}
+
+// foldLookups sums lookup and served counts across merged shard
+// tallies.
+func foldLookups(merged []shardCounts) (lookups, served int) {
+	for s := range merged {
+		l, sv := merged[s].lookups()
+		lookups += l
+		served += sv
+	}
+	return
+}
+
+// shardReport builds one shard's report row from its merged tally.
+func shardReport(url string, m *shardCounts) ShardReport {
+	sr := ShardReport{
+		URL:           url,
+		Requests:      m.requests,
+		Errors:        m.errors,
+		Hits:          m.hits,
+		Misses:        m.misses,
+		Coalesced:     m.coalesced,
+		ReplicaHits:   m.replicaHits,
+		ForwardHits:   m.forwardHits,
+		ForwardMisses: m.forwardMisses,
+	}
+	if lookups, served := m.lookups(); lookups > 0 {
+		sr.HitRate = float64(served) / float64(lookups)
+	}
+	sort.Float64s(m.latencies)
+	sr.P50Ms = stats.Percentile(m.latencies, 50) * 1e3
+	sr.P95Ms = stats.Percentile(m.latencies, 95) * 1e3
+	sr.P99Ms = stats.Percentile(m.latencies, 99) * 1e3
+	return sr
 }

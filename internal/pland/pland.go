@@ -20,7 +20,22 @@
 //	GET  /metrics.json  JSON snapshot of the same registry
 //	GET  /debug/flight  flight-recorder dump (JSONL request records)
 //	GET  /debug/explain decision-count summary of the latest planner run
+//	GET  /debug/ring    cluster membership, health, and ownership shares
 //	GET  /debug/pprof/  live profiles, when Config.Pprof is set
+//
+// With Config.Peers set (two or more members), the daemon is one shard
+// of a plan-serving ring. A consistent-hash ring (internal/ring) keyed
+// on the plan fingerprint assigns each plan an owner shard; a request
+// that lands on the wrong shard is proxied to the owner in a single
+// internal hop (X-Forwarded-By is the loop guard, and the client's
+// X-Request-ID rides along so one ID joins the logs on both daemons).
+// Fingerprints whose request rate crosses Config.HotThreshold are
+// replicated: the owner's bytes are cached locally on the way back and
+// later requests are replica-hits, so Zipf-head layouts stop
+// bottlenecking one shard. Peer health probes (Config.ProbeInterval)
+// route around dead shards — the next replica in ring order takes
+// over, and if forwarding fails at transport level the daemon computes
+// locally rather than failing the client.
 //
 // Every /v1/* response carries an X-Request-ID header — the client's,
 // when it sent a well-formed one, else freshly minted — and the same
@@ -56,6 +71,11 @@ import (
 type Config struct {
 	// Addr is the listen address; empty means "127.0.0.1:0".
 	Addr string
+	// Listener, when non-nil, is used instead of binding Addr. The
+	// in-process ring bench and cluster tests bind every member's
+	// listener first, so each daemon's Peers map can name the others'
+	// real addresses before any of them is constructed.
+	Listener net.Listener
 	// CacheCapacity is the plan cache's entry bound; <= 0 means 1024.
 	CacheCapacity int
 	// Workers bounds concurrently executing planner/simulator jobs;
@@ -83,6 +103,27 @@ type Config struct {
 	// Pprof, when true, mounts the net/http/pprof handlers on the
 	// daemon's own mux under /debug/pprof/ for live profiling.
 	Pprof bool
+	// ShardID names this daemon on the plan-serving ring (and in its
+	// request logs and /healthz). Required when Peers has two or more
+	// entries; optional (a label only) on a single node.
+	ShardID string
+	// Peers maps shard ID -> base URL ("http://host:port") for every
+	// ring member, including this daemon under ShardID. Two or more
+	// entries enable cluster mode: consistent-hash ownership of plan
+	// fingerprints, peer forwarding, and hot-key replication.
+	Peers map[string]string
+	// Vnodes is the per-member virtual-node count on the placement
+	// ring; <= 0 means ring.DefaultVnodes.
+	Vnodes int
+	// HotThreshold is the request count within HotWindow at which a
+	// non-owned fingerprint turns hot and its bytes are replicated
+	// into the local cache on the way back from the owner; <= 0 means
+	// 8.
+	HotThreshold int
+	// HotWindow is the hot-key tracking window; <= 0 means 10s.
+	HotWindow time.Duration
+	// ProbeInterval is the peer health-probe period; <= 0 means 500ms.
+	ProbeInterval time.Duration
 }
 
 // Server-side trace phases: one span per request, stamped with
@@ -101,6 +142,7 @@ type Server struct {
 	flight  *FlightRecorder
 	cache   *Cache
 	pool    *sweep.Pool
+	clu     *clusterState // nil on a single-node daemon
 	ln      net.Listener
 	http    *http.Server
 	started time.Time
@@ -144,6 +186,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FlightSize <= 0 {
 		cfg.FlightSize = 256
 	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 8
+	}
+	if cfg.HotWindow <= 0 {
+		cfg.HotWindow = 10 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.New()
@@ -183,10 +234,22 @@ func New(cfg Config) (*Server, error) {
 		start := time.Now()
 		s.tracer.SetClock(func() float64 { return time.Since(start).Seconds() })
 	}
+	if len(cfg.Peers) > 1 {
+		clu, err := newClusterState(cfg.ShardID, cfg.Peers, cfg.Vnodes,
+			newHotTracker(cfg.HotThreshold, cfg.HotWindow), cfg.ProbeInterval, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.clu = clu
+	}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.ln = ln
 	mux := http.NewServeMux()
@@ -197,10 +260,14 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/metrics.json", metrics.JSONHandler(reg))
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/explain", s.handleExplain)
+	mux.HandleFunc("/debug/ring", s.handleRing)
 	if cfg.Pprof {
 		metrics.AttachPprof(mux)
 	}
 	s.http = metrics.NewServer(mux)
+	if s.clu != nil {
+		s.clu.startProbes()
+	}
 	return s, nil
 }
 
@@ -229,7 +296,12 @@ func (s *Server) Serve() error {
 // finish, and admission closes. It returns nil when everything
 // completed before ctx expired.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.drainOnce.Do(func() { close(s.draining) })
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		if s.clu != nil {
+			s.clu.stopProbes()
+		}
+	})
 	if err := s.http.Shutdown(ctx); err != nil {
 		return err
 	}

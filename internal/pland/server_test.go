@@ -424,12 +424,17 @@ func TestServeBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if table == nil || len(file.Experiments) != 1 {
+	// One single-node row, one row per ring shard, one cluster row.
+	if table == nil || len(file.Experiments) != 2+ringShards {
 		t.Fatalf("bench file: %+v", file)
 	}
 	row := file.Experiments[0]
 	if row.ThroughputRPS <= 0 || row.HitRate <= 0 {
 		t.Fatalf("implausible serve row: %+v", row)
+	}
+	ringRow := file.Experiments[len(file.Experiments)-1]
+	if ringRow.HitRate < row.HitRate {
+		t.Fatalf("ring hit rate %.4f below single-node %.4f", ringRow.HitRate, row.HitRate)
 	}
 	if file.Metrics == nil {
 		t.Fatal("bench file has no metrics snapshot")

@@ -48,6 +48,17 @@ type Model struct {
 	ActiveJobs   float64
 	PlannerRuns  float64
 	Simulations  float64
+	// Cluster counters, all zero on a single-node daemon: Forwards are
+	// requests this shard proxied to their owner, ForwardedIn requests
+	// it served on a peer's behalf, ReplicaHits non-owned plans served
+	// from the local copy, Fallbacks forwards that failed and computed
+	// locally. PeersUp of Peers remote shards currently answer probes.
+	Forwards    float64
+	ForwardedIn float64
+	ReplicaHits float64
+	Fallbacks   float64
+	Peers       float64
+	PeersUp     float64
 }
 
 // sumSamples adds every sample value of one family.
@@ -117,6 +128,14 @@ func Compute(prev, cur *metrics.Snapshot, dt float64) Model {
 		ActiveJobs:    getOne(cur, "mccio_pland_active_jobs"),
 		PlannerRuns:   getOne(cur, "mccio_pland_planner_runs_total"),
 		Simulations:   getOne(cur, "mccio_pland_simulations_total"),
+		Forwards:      sumSamples(cur, "mccio_pland_forwards_total"),
+		ForwardedIn:   getOne(cur, "mccio_pland_forwarded_in_total"),
+		ReplicaHits:   getOne(cur, "mccio_pland_replica_hits_total"),
+		Fallbacks:     getOne(cur, "mccio_pland_forward_fallbacks_total"),
+	}
+	for _, up := range sumByLabel(cur, "mccio_pland_peer_up", "peer") {
+		m.Peers++
+		m.PeersUp += up
 	}
 	if lookups := m.Hits + m.Misses + m.Coalesced; lookups > 0 {
 		m.HitRate = (m.Hits + m.Coalesced) / lookups
@@ -173,4 +192,25 @@ func (m Model) Render(w io.Writer) {
 	fmt.Fprintf(w, "work       %.0f planner runs   %.0f simulations   %.0f shed\n",
 		m.PlannerRuns, m.Simulations, m.Shed)
 	fmt.Fprintf(w, "pressure   queue %.0f   active %.0f\n", m.QueueDepth, m.ActiveJobs)
+	if m.Peers > 0 || m.Forwards > 0 || m.ReplicaHits > 0 {
+		fmt.Fprintf(w, "cluster    peers %.0f/%.0f up   %.0f fwd out  %.0f fwd in  %.0f replica hits  %.0f fallbacks\n",
+			m.PeersUp, m.Peers, m.Forwards, m.ForwardedIn, m.ReplicaHits, m.Fallbacks)
+	}
+}
+
+// RenderCluster writes one compact row per shard followed by the
+// cluster-total panel. names and shards are parallel (one entry per
+// polled daemon); total is the frame computed from the merged
+// snapshots.
+func RenderCluster(w io.Writer, names []string, shards []Model, total Model) {
+	for i, sm := range shards {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(w, "shard %-28s %8.1f req/s  %5.1f%% hit  %.0f planner  %.0f fwd out  %.0f fwd in  p99 %.2fms\n",
+			name, sm.ReqPerSec, sm.HitRate*100, sm.PlannerRuns, sm.Forwards, sm.ForwardedIn, sm.P99*1e3)
+	}
+	fmt.Fprintf(w, "\ncluster total (%d shards)\n", len(shards))
+	total.Render(w)
 }

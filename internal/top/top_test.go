@@ -1,6 +1,7 @@
 package top
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -98,6 +99,70 @@ func TestRender(t *testing.T) {
 	for _, want := range []string{"req/s", "p95", "hit rate", "200=10", "429=2", "2 shed", "queue 1"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cluster") {
+		t.Fatalf("single-node frame must not render the cluster line:\n%s", out)
+	}
+}
+
+// fakeShard extends the fake daemon with the cluster counter families.
+func fakeShard(t *testing.T, peersUp, peersDown int) *metrics.Snapshot {
+	t.Helper()
+	reg := metrics.New()
+	reg.Counter("mccio_pland_requests_total", "h", "endpoint", "plan", "code", "200").Add(20)
+	reg.Counter("mccio_pland_cache_hits_total", "h").Add(8)
+	reg.Counter("mccio_pland_cache_misses_total", "h").Add(2)
+	reg.Counter("mccio_pland_forwards_total", "h", "outcome", "relayed").Add(5)
+	reg.Counter("mccio_pland_forwarded_in_total", "h").Add(4)
+	reg.Counter("mccio_pland_replica_hits_total", "h").Add(3)
+	reg.Counter("mccio_pland_forward_fallbacks_total", "h").Add(1)
+	for i := 0; i < peersUp; i++ {
+		reg.Gauge("mccio_pland_peer_up", "h", "peer", fmt.Sprintf("up%d", i)).Set(1)
+	}
+	for i := 0; i < peersDown; i++ {
+		reg.Gauge("mccio_pland_peer_up", "h", "peer", fmt.Sprintf("down%d", i)).Set(0)
+	}
+	snap := reg.Snapshot()
+	return &snap
+}
+
+func TestComputeClusterCounters(t *testing.T) {
+	m := Compute(nil, fakeShard(t, 1, 1), 0)
+	if m.Forwards != 5 || m.ForwardedIn != 4 || m.ReplicaHits != 3 || m.Fallbacks != 1 {
+		t.Fatalf("cluster counters wrong: %+v", m)
+	}
+	if m.Peers != 2 || m.PeersUp != 1 {
+		t.Fatalf("peer health wrong: peers=%v up=%v", m.Peers, m.PeersUp)
+	}
+}
+
+func TestRenderClusterLine(t *testing.T) {
+	var sb strings.Builder
+	Compute(nil, fakeShard(t, 2, 0), 0).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"cluster", "peers 2/2 up", "5 fwd out", "4 fwd in", "3 replica hits", "1 fallbacks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCluster(t *testing.T) {
+	s1 := Compute(nil, fakeShard(t, 2, 0), 0)
+	s2 := Compute(nil, fakeShard(t, 2, 0), 0)
+	snap1, snap2 := fakeShard(t, 2, 0), fakeShard(t, 2, 0)
+	merged := metrics.MergeSnapshots(*snap1, *snap2)
+	total := Compute(nil, &merged, 0)
+	if total.TotalRequests != 40 {
+		t.Fatalf("merged TotalRequests %v, want 40", total.TotalRequests)
+	}
+	var sb strings.Builder
+	RenderCluster(&sb, []string{"http://a:1", "http://b:2"}, []Model{s1, s2}, total)
+	out := sb.String()
+	for _, want := range []string{"shard http://a:1", "shard http://b:2", "cluster total (2 shards)", "total 40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cluster render missing %q:\n%s", want, out)
 		}
 	}
 }
