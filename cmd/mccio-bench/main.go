@@ -93,6 +93,8 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		explPath   = flag.String("explain", "", "with -experiment regression, record the planner decision audit to FILE as JSONL (render with mccio-report explain/memtl); byte-identical for every -parallel value")
+		hostOn     = flag.Bool("host", false, "record host wall-clock and allocation columns (host_ns_op, host_allocs_op) per trajectory row; forces serial execution and is gated separately from the deterministic columns (mccio-report compare -host)")
+		sitesPath  = flag.String("sites", "", "capture a CPU+allocation profile across the whole run and write the decoded top-site tables (machine-readable JSON, -top sites each) to this file; incompatible with -cpuprofile and -experiment profile")
 	)
 	flag.Parse()
 
@@ -104,9 +106,24 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, HostMetrics: *hostOn}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	var sites *bench.SiteCapture
+	if *sitesPath != "" {
+		// One CPU profiler per process: -sites owns it for the whole run,
+		// so the raw-profile flag and the self-profiling experiment are
+		// both out.
+		if *cpuProf != "" || *experiment == "profile" {
+			fmt.Fprintln(os.Stderr, "mccio-bench: -sites is incompatible with -cpuprofile and -experiment profile")
+			exit(2)
+		}
+		var err error
+		if sites, err = bench.StartSiteCapture(); err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+			exit(1)
+		}
 	}
 	if (*jsonPath != "" || *explPath != "") && *experiment == "all" {
 		*experiment = "regression"
@@ -296,6 +313,28 @@ func main() {
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "mccio-bench: unknown experiment %q\n", *experiment)
 		exit(2)
+	}
+	if sites != nil {
+		rep, err := sites.Stop(*topN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: sites: %v\n", err)
+			exit(1)
+		}
+		rep.Scale, rep.Seed, rep.Rounds = *scale, *seed, 1
+		tables = append(tables, rep.Tables()...)
+		f, err := os.Create(*sitesPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+			exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+			exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *sitesPath)
 	}
 
 	for _, t := range tables {

@@ -47,7 +47,7 @@ func main() {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   mccio-report summarize TRACE-FILE
-  mccio-report compare [-threshold PCT] OLD.json NEW.json
+  mccio-report compare [-threshold PCT] [-host [-host-ns-tol PCT] [-host-alloc-tol PCT]] OLD.json NEW.json
   mccio-report explain EXPLAIN-FILE
   mccio-report memtl EXPLAIN-FILE
 
@@ -55,7 +55,9 @@ summarize aggregates an event trace written by mccio-sim -trace
 (Chrome trace_event JSON or JSONL; auto-detected) into the phase
 breakdown. compare diffs two bench trajectories written by
 mccio-bench -json and exits 1 if any experiment regressed more than
-the threshold. explain renders a decision log written by
+the threshold; with -host it additionally gates the host-cost columns
+recorded by mccio-bench -host (wall time and allocations, each with
+its own tolerance band). explain renders a decision log written by
 mccio-sim/mccio-bench -explain as an annotated partition tree with
 remerge reasons and a per-decision "why" table; memtl renders the
 same log's per-aggregator memory timeline as a terminal heatmap.
@@ -181,6 +183,9 @@ func compare(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.Usage = func() { usage(stderr) }
 	threshold := fs.Float64("threshold", 10, "regression threshold in percent bandwidth drop")
+	host := fs.Bool("host", false, "also gate the host-cost columns (host_ns_op, host_allocs_op); both trajectories must have been recorded with mccio-bench -host")
+	hostNsTol := fs.Float64("host-ns-tol", 300, "with -host: fail when a row's wall time grows more than this percent (wide band — wall clock varies with hardware)")
+	hostAllocTol := fs.Float64("host-alloc-tol", 25, "with -host: fail when a row's allocation count grows more than this percent (tight band — allocs are near-deterministic per binary)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -208,9 +213,23 @@ func compare(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	table.WriteText(stdout)
+	code := 0
 	if regressed > 0 {
 		fmt.Fprintf(stderr, "mccio-report: %d experiment(s) regressed more than %.1f%%\n", regressed, *threshold)
-		return 1
+		code = 1
 	}
-	return 0
+	if *host {
+		htable, _, hregressed, err := bench.CompareHost(old, cur, *hostNsTol, *hostAllocTol)
+		if err != nil {
+			fmt.Fprintf(stderr, "mccio-report: %v\n", err)
+			return 1
+		}
+		htable.WriteText(stdout)
+		if hregressed > 0 {
+			fmt.Fprintf(stderr, "mccio-report: %d experiment(s) regressed on host cost (bands: wall +%.0f%%, allocs +%.0f%%)\n",
+				hregressed, *hostNsTol, *hostAllocTol)
+			code = 1
+		}
+	}
+	return code
 }

@@ -63,7 +63,7 @@ func Ablation(o Options) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSpecs(o, "ablation", rows)
+	results, _, err := runSpecs(o, "ablation", rows)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +116,7 @@ func MemoryPressure(o Options) (*Table, error) {
 			spec: Spec{Strategy: e.s, Op: "write", Machine: e.cfg, FS: fcfg, Workload: wl},
 		})
 	}
-	results, err := runSpecs(o, "memory", rows)
+	results, _, err := runSpecs(o, "memory", rows)
 	if err != nil {
 		return nil, err
 	}

@@ -50,7 +50,7 @@ func Exascale(o Options) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSpecs(o, "exascale", rows)
+	results, _, err := runSpecs(o, "exascale", rows)
 	if err != nil {
 		return nil, fmt.Errorf("exascale: %w", err)
 	}

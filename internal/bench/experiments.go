@@ -36,6 +36,16 @@ type Options struct {
 	// with its own hermetic recorder and the per-row logs are folded in
 	// row order, so the merged audit is byte-identical at any Parallel.
 	Explain *explain.Recorder
+	// HostMetrics records each run's host-side cost — wall-clock
+	// nanoseconds and heap allocations — into the trajectory rows of the
+	// experiments that persist one (regression, sweep). Recording forces
+	// the sweep serial whatever Parallel says: the Go runtime's
+	// allocation counter is process-global, so concurrent rows would
+	// bleed into each other's counts. The simulated columns remain
+	// byte-identical; only the two host_* columns are added, and the
+	// deterministic regression gate (CompareBench) never reads them —
+	// they are gated separately, with tolerance bands, by CompareHost.
+	HostMetrics bool
 }
 
 // fill in defaults.
@@ -143,7 +153,7 @@ func comparisonSweep(title string, wl workload.Workload, nodes int, o Options) (
 			})
 		}
 	}
-	results, err := runSpecs(o, title, rows)
+	results, _, err := runSpecs(o, title, rows)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// The seed-engine goldens: trajectories (rows plus merged metrics
+// snapshot) written by the pre-optimization engine at fixed (scale,
+// seed). The hot-path work — pooled extent arenas, flattened event
+// queue, cached reserve paths, mailbox flush reuse, sparse-exchange
+// scratch — is host-side only by contract: every virtual time, float
+// operation order, and event tie-break must be preserved, so the
+// trajectory the current engine produces must match these files byte
+// for byte. A diff here means an optimization changed simulation
+// semantics, not just speed.
+func readGolden(t *testing.T, name string) (*BenchFile, []byte) {
+	t.Helper()
+	g, err := ReadBenchFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Created = ""
+	canon, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, canon
+}
+
+// checkGolden runs the experiment at the golden's own (scale, seed) and
+// compares canonical encodings.
+func checkGolden(t *testing.T, name string, run func(Options) (*BenchFile, error), parallel int) {
+	g, want := readGolden(t, name)
+	got, err := run(Options{Scale: g.Scale, Seed: g.Seed, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := marshalBench(t, got)
+	if !bytes.Equal(have, want) {
+		t.Fatalf("trajectory diverged from seed engine golden %s (parallel=%d):\ngolden:  %s\ncurrent: %s",
+			name, parallel, want, have)
+	}
+}
+
+// TestGoldenRegressionSeedEngine locks the fixed-seed regression rows
+// to the seed engine, serially and through the worker pool.
+func TestGoldenRegressionSeedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	run := func(o Options) (*BenchFile, error) { return RunRegression(o, metrics.New()) }
+	checkGolden(t, "regression_seed_engine.json", run, 1)
+	checkGolden(t, "regression_seed_engine.json", run, 8)
+}
+
+// TestGoldenSweepSeedEngine locks the 48-row sharded grid — the
+// trajectory EXPERIMENTS.md §18's speedup walkthrough measures — to the
+// seed engine at the walkthrough's own scale and seed.
+func TestGoldenSweepSeedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48-run experiment")
+	}
+	run := func(o Options) (*BenchFile, error) { return RunSweep(o, metrics.New()) }
+	checkGolden(t, "sweep_seed_engine.json", run, 1)
+	checkGolden(t, "sweep_seed_engine.json", run, 8)
+}
+
+// TestGoldenHostMetricsDoNotPerturb proves host-cost recording is an
+// observer: a regression run with HostMetrics on must produce the same
+// simulated columns as the golden, differing only in the two host_*
+// fields.
+func TestGoldenHostMetricsDoNotPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	g, want := readGolden(t, "regression_seed_engine.json")
+	got, err := RunRegression(Options{Scale: g.Scale, Seed: g.Seed, HostMetrics: true}, metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Experiments {
+		r := &got.Experiments[i]
+		if r.HostNsOp <= 0 || r.HostAllocsOp <= 0 {
+			t.Fatalf("row %s: host columns not recorded: ns=%d allocs=%d", r.Key, r.HostNsOp, r.HostAllocsOp)
+		}
+		r.HostNsOp, r.HostAllocsOp = 0, 0
+	}
+	if have := marshalBench(t, got); !bytes.Equal(have, want) {
+		t.Fatalf("HostMetrics perturbed the simulated columns:\ngolden:  %s\ncurrent: %s", want, have)
+	}
+}

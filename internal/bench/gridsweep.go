@@ -67,12 +67,17 @@ func RunSweep(o Options, reg *metrics.Registry) (*BenchFile, error) {
 			rows[i].spec.Metrics = regs[i]
 		}
 	}
-	results, err := runSpecs(o, "sweep", rows)
+	results, hosts, err := runSpecs(o, "sweep", rows)
 	if err != nil {
 		return nil, fmt.Errorf("bench: sweep: %w", err)
 	}
 	for i, res := range results {
-		out.Experiments = append(out.Experiments, RowFromResult(rows[i].key, res))
+		row := RowFromResult(rows[i].key, res)
+		if hosts != nil {
+			row.HostNsOp = hosts[i].WallNs
+			row.HostAllocsOp = hosts[i].Allocs
+		}
+		out.Experiments = append(out.Experiments, row)
 	}
 	if reg != nil {
 		snaps := make([]metrics.Snapshot, len(regs))

@@ -44,6 +44,16 @@ type BenchRow struct {
 	LatP95Ms      float64 `json:"lat_p95_ms,omitempty"`
 	LatP99Ms      float64 `json:"lat_p99_ms,omitempty"`
 	HitRate       float64 `json:"hit_rate,omitempty"`
+
+	// Host-side cost columns, recorded only under Options.HostMetrics
+	// (mccio-bench -host): the wall-clock nanoseconds and heap
+	// allocations the host spent simulating this row. Host-dependent by
+	// nature, so CompareBench ignores them; CompareHost gates them with
+	// tolerance bands (tight for allocations, which are near-
+	// deterministic per binary; wide for wall time, which varies with
+	// hardware and load).
+	HostNsOp     int64 `json:"host_ns_op,omitempty"`
+	HostAllocsOp int64 `json:"host_allocs_op,omitempty"`
 }
 
 // RowFromResult flattens one run result into a trajectory row.
@@ -188,5 +198,83 @@ func CompareBench(old, new *BenchFile, thresholdPct float64) (*Table, []Delta, i
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("threshold: fail when bandwidth drops more than %.1f%%", thresholdPct))
+	return t, deltas, regressed, nil
+}
+
+// HostDelta is one key's host-cost movement between two trajectories.
+type HostDelta struct {
+	Key                  string
+	OldNs, NewNs         int64
+	OldAllocs, NewAllocs int64
+	NsRegressed          bool // NewNs exceeded OldNs by more than the band
+	AllocsRegressed      bool // NewAllocs exceeded OldAllocs by more than the band
+}
+
+// CompareHost diffs the host-side columns (host_ns_op, host_allocs_op)
+// of two trajectories and counts regressions: rows whose wall time grew
+// more than nsTolPct percent or whose allocation count grew more than
+// allocTolPct percent. The gates are one-sided — getting faster or
+// leaner never fails — and banded rather than exact because host
+// numbers are not a pure function of (scale, seed): allocation counts
+// shift slightly across Go releases and wall time with hardware, so
+// sensible bands are tight for allocations (tens of percent) and wide
+// for nanoseconds (hundreds). Rows without host data on either side
+// are skipped with a note; comparing two trajectories where no row
+// pair has host data is an error (the caller almost certainly forgot
+// to record with -host).
+func CompareHost(old, new *BenchFile, nsTolPct, allocTolPct float64) (*Table, []HostDelta, int, error) {
+	if old == nil || new == nil {
+		return nil, nil, 0, fmt.Errorf("bench: compare host: missing trajectory")
+	}
+	t := &Table{
+		Title:   "Host-cost comparison (wall time and allocations per row)",
+		Headers: []string{"experiment", "old ms", "new ms", "wall", "old allocs", "new allocs", "alloc", "verdict"},
+	}
+	var deltas []HostDelta
+	regressed, compared := 0, 0
+	pctStr := func(oldV, newV int64) string {
+		if oldV <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (float64(newV)/float64(oldV)-1)*100)
+	}
+	for _, or := range old.Experiments {
+		nr := new.Row(or.Key)
+		if nr == nil {
+			continue // CompareBench already notes missing keys
+		}
+		if or.HostNsOp == 0 || nr.HostNsOp == 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: no host data on one side, skipped", or.Key))
+			continue
+		}
+		compared++
+		d := HostDelta{
+			Key:   or.Key,
+			OldNs: or.HostNsOp, NewNs: nr.HostNsOp,
+			OldAllocs: or.HostAllocsOp, NewAllocs: nr.HostAllocsOp,
+		}
+		d.NsRegressed = float64(d.NewNs) > float64(d.OldNs)*(1+nsTolPct/100)
+		d.AllocsRegressed = d.OldAllocs > 0 &&
+			float64(d.NewAllocs) > float64(d.OldAllocs)*(1+allocTolPct/100)
+		verdict := "ok"
+		if d.NsRegressed || d.AllocsRegressed {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		deltas = append(deltas, d)
+		t.AddRow(d.Key,
+			fmt.Sprintf("%.1f", float64(d.OldNs)/1e6),
+			fmt.Sprintf("%.1f", float64(d.NewNs)/1e6),
+			pctStr(d.OldNs, d.NewNs),
+			fmt.Sprintf("%d", d.OldAllocs),
+			fmt.Sprintf("%d", d.NewAllocs),
+			pctStr(d.OldAllocs, d.NewAllocs),
+			verdict)
+	}
+	if compared == 0 {
+		return nil, nil, 0, fmt.Errorf("bench: compare host: no row pair carries host columns; record both trajectories with host metrics enabled (mccio-bench -host)")
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"bands: fail when wall time grows more than %.0f%% or allocations more than %.0f%%", nsTolPct, allocTolPct))
 	return t, deltas, regressed, nil
 }

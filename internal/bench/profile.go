@@ -42,37 +42,39 @@ type ProfileReport struct {
 	Alloc []prof.Site `json:"alloc"`
 }
 
-// RunProfile runs the fixed-seed regression workload under the CPU
-// profiler (repeating it until profileMinSeconds of wall time has
-// accumulated), snapshots the allocation profile, and decodes both
-// into the top n sites by cumulative value. It is the engine behind
-// `mccio-bench -experiment profile`.
-func RunProfile(o Options, n int) (*ProfileReport, error) {
+// SiteCapture is an in-flight CPU + allocation capture around
+// arbitrary work: StartSiteCapture turns the runtime's CPU profiler
+// on, the caller runs whatever it wants profiled, and Stop decodes
+// both profiles into a machine-readable ProfileReport. It is the
+// mechanism behind both `mccio-bench -experiment profile` (regression
+// rounds as the body) and `mccio-bench -sites` (any experiment sweep
+// as the body). Only one capture — and no other CPU profiler — can be
+// active per process.
+type SiteCapture struct {
+	cpuBuf bytes.Buffer
+	start  time.Time
+}
+
+// StartSiteCapture begins a capture. Every return path must call Stop
+// exactly once; until then no other CPU profile can start.
+func StartSiteCapture() (*SiteCapture, error) {
+	c := &SiteCapture{start: time.Now()}
+	if err := pprof.StartCPUProfile(&c.cpuBuf); err != nil {
+		return nil, fmt.Errorf("bench: profile: %w", err)
+	}
+	return c, nil
+}
+
+// Stop ends the capture, snapshots the allocation profile, and decodes
+// both into the top n sites by cumulative value. Rounds is left for
+// the caller to fill (Stop cannot know how many workload repetitions
+// the body ran); WallSeconds covers start-to-stop.
+func (c *SiteCapture) Stop(n int) (*ProfileReport, error) {
 	if n <= 0 {
 		n = 15
 	}
-	// Progress lines would interleave with the profiler's own work and
-	// the rounds are identical anyway; report rounds in the result.
-	o.Progress = nil
-
-	var cpuBuf bytes.Buffer
-	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
-		return nil, fmt.Errorf("bench: profile: %w", err)
-	}
-	start := time.Now()
-	rounds := 0
-	var runErr error
-	for time.Since(start).Seconds() < profileMinSeconds && rounds < profileMaxRounds {
-		if _, runErr = RunRegression(o, nil); runErr != nil {
-			break
-		}
-		rounds++
-	}
 	pprof.StopCPUProfile()
-	wall := time.Since(start).Seconds()
-	if runErr != nil {
-		return nil, runErr
-	}
+	wall := time.Since(c.start).Seconds()
 
 	runtime.GC() // flush pending frees so alloc_space is current
 	var heapBuf bytes.Buffer
@@ -80,7 +82,7 @@ func RunProfile(o Options, n int) (*ProfileReport, error) {
 		return nil, fmt.Errorf("bench: profile: allocs: %w", err)
 	}
 
-	cp, err := prof.Parse(&cpuBuf)
+	cp, err := prof.Parse(&c.cpuBuf)
 	if err != nil {
 		return nil, fmt.Errorf("bench: profile: decode cpu: %w", err)
 	}
@@ -89,9 +91,6 @@ func RunProfile(o Options, n int) (*ProfileReport, error) {
 		return nil, fmt.Errorf("bench: profile: decode allocs: %w", err)
 	}
 	rep := &ProfileReport{
-		Scale:       o.withDefaults().Scale,
-		Seed:        o.withDefaults().Seed,
-		Rounds:      rounds,
 		WallSeconds: wall,
 		CPUSeconds:  float64(cp.TotalValue("cpu")) / 1e9,
 		AllocBytes:  ap.TotalValue("alloc_space"),
@@ -102,6 +101,41 @@ func RunProfile(o Options, n int) (*ProfileReport, error) {
 	if rep.Alloc, err = ap.Top("alloc_space", n); err != nil {
 		return nil, err
 	}
+	return rep, nil
+}
+
+// RunProfile runs the fixed-seed regression workload under the CPU
+// profiler (repeating it until profileMinSeconds of wall time has
+// accumulated), snapshots the allocation profile, and decodes both
+// into the top n sites by cumulative value. It is the engine behind
+// `mccio-bench -experiment profile`.
+func RunProfile(o Options, n int) (*ProfileReport, error) {
+	// Progress lines would interleave with the profiler's own work and
+	// the rounds are identical anyway; report rounds in the result.
+	o.Progress = nil
+
+	sc, err := StartSiteCapture()
+	if err != nil {
+		return nil, err
+	}
+	rounds := 0
+	var runErr error
+	for time.Since(sc.start).Seconds() < profileMinSeconds && rounds < profileMaxRounds {
+		if _, runErr = RunRegression(o, nil); runErr != nil {
+			break
+		}
+		rounds++
+	}
+	rep, err := sc.Stop(n)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Scale = o.withDefaults().Scale
+	rep.Seed = o.withDefaults().Seed
+	rep.Rounds = rounds
 	return rep, nil
 }
 

@@ -76,12 +76,17 @@ func RunRegression(o Options, reg *metrics.Registry) (*BenchFile, error) {
 			rows[i].spec.Explain = recs[i]
 		}
 	}
-	results, err := runSpecs(o, "regression", rows)
+	results, hosts, err := runSpecs(o, "regression", rows)
 	if err != nil {
 		return nil, fmt.Errorf("bench: regression: %w", err)
 	}
 	for i, res := range results {
-		out.Experiments = append(out.Experiments, RowFromResult(rows[i].key, res))
+		row := RowFromResult(rows[i].key, res)
+		if hosts != nil {
+			row.HostNsOp = hosts[i].WallNs
+			row.HostAllocsOp = hosts[i].Allocs
+		}
+		out.Experiments = append(out.Experiments, row)
 	}
 	if reg != nil {
 		snaps := make([]metrics.Snapshot, len(regs))

@@ -40,7 +40,7 @@ func Stripes(o Options) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSpecs(o, "stripes", rows)
+	results, _, err := runSpecs(o, "stripes", rows)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -18,24 +20,59 @@ type specRow struct {
 	spec Spec
 }
 
+// HostSample is one row's host-side cost: the wall-clock nanoseconds
+// and heap allocations (object count, runtime.MemStats.Mallocs delta)
+// the process spent executing the row's simulation. Samples exist only
+// under Options.HostMetrics and are inherently host-dependent — they
+// gate through CompareHost's tolerance bands, never the byte-exact
+// regression comparison.
+type HostSample struct {
+	WallNs int64
+	Allocs int64
+}
+
 // runSpecs executes the rows through the sweep worker pool — o.Parallel
 // runs at a time, GOMAXPROCS when 0, strictly serial when 1 — and
 // returns the results slot-per-row: results[i] belongs to rows[i]
 // whatever order the runs finished in. Per-row progress lines (key,
 // result, ETA) land on o.Progress. A failed row is reported wrapped
 // with its key, after every other row has completed.
-func runSpecs(o Options, label string, rows []specRow) ([]trace.Result, error) {
+//
+// When o.HostMetrics is set the pool is forced serial (the allocation
+// counter is process-global; a concurrent sibling's garbage would land
+// in this row's count) and the second return value carries one
+// HostSample per row; otherwise it is nil.
+func runSpecs(o Options, label string, rows []specRow) ([]trace.Result, []HostSample, error) {
+	workers := o.Parallel
+	var hosts []HostSample
+	if o.HostMetrics {
+		workers = 1
+		hosts = make([]HostSample, len(rows))
+	}
 	s := sweep.Sweep[trace.Result]{
-		Workers:  o.Parallel,
+		Workers:  workers,
 		Progress: o.Progress,
 		Label:    label,
 		Describe: func(row int, r trace.Result) string { return rows[row].key + ": " + r.String() },
 	}
-	return s.Run(context.Background(), len(rows), func(_ context.Context, row int) (trace.Result, error) {
+	results, err := s.Run(context.Background(), len(rows), func(_ context.Context, row int) (trace.Result, error) {
+		var m0 runtime.MemStats
+		var t0 time.Time
+		if hosts != nil {
+			runtime.ReadMemStats(&m0)
+			t0 = time.Now()
+		}
 		res, err := RunOnce(rows[row].spec)
 		if err != nil {
 			return trace.Result{}, fmt.Errorf("%s: %w", rows[row].key, err)
 		}
+		if hosts != nil {
+			wall := time.Since(t0)
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			hosts[row] = HostSample{WallNs: wall.Nanoseconds(), Allocs: int64(m1.Mallocs - m0.Mallocs)}
+		}
 		return res, nil
 	})
+	return results, hosts, err
 }

@@ -94,9 +94,7 @@ func Copy(dst, src Buf) int64 {
 	case dst.phantom:
 		// Nothing to store.
 	case src.phantom:
-		for i := int64(0); i < n; i++ {
-			dst.data[i] = 0
-		}
+		clear(dst.data[:n])
 	default:
 		copy(dst.data[:n], src.data[:n])
 	}

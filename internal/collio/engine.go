@@ -37,7 +37,16 @@ func (s shufflePiece) wireBytes() int64 {
 type aggState struct {
 	domain    Domain
 	othersReq map[int]datatype.List // comm rank -> its segments in my domain
+	reqOrder  []reqEntry            // same entries, ascending src; per-round scans iterate this
 	coverage  datatype.List         // union of othersReq
+}
+
+// reqEntry is one requesting rank's segments, in the compact form the
+// per-round hot loops scan (ranging the othersReq map every round cost
+// measurable iterator time at large communicator sizes).
+type reqEntry struct {
+	src  int
+	segs datatype.List
 }
 
 // exchangeRequests performs the upfront metadata exchange and returns
@@ -78,6 +87,7 @@ func exchangeRequests(c *mpi.Comm, vi *iolib.ViewIndex, plan *Plan) *aggState {
 			segs := v.(reqList).segs
 			if len(segs) > 0 {
 				mine.othersReq[src] = segs
+				mine.reqOrder = append(mine.reqOrder, reqEntry{src: src, segs: segs})
 				all = append(all, segs...)
 			}
 		}
@@ -153,11 +163,19 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 	}
 	phantom := data.Phantom()
 
-	// Exchange scratch, reused across rounds (allocating per round
-	// dominated GC time at 1080 ranks).
-	vals := make([]any, p)
-	bytes := make([]int64, p)
-	present := make([]bool, p)
+	// Per-collective scratch, reused across rounds (allocating per
+	// round dominated GC time at 1080 ranks). pieces backs the boxed
+	// *shufflePiece payloads — boxing the struct by value allocated on
+	// every send; a pointer into a reused array does not. The arena
+	// recycles every per-round clipped list; it resets at the round
+	// barrier, by which point the previous round's pieces (ours and our
+	// peers') are all consumed. See DESIGN.md §14 for the ownership
+	// rules.
+	ex := c.SparseScratch()
+	pieces := make([]shufflePiece, p)
+	var arena datatype.Arena
+	var offs []int64
+	var bufs []buffer.Buf
 
 	for r := 0; r < plan.Rounds; r++ {
 		rloc := loc
@@ -182,23 +200,24 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 			// branch for the same rounds (the decision is pure).
 			mine = exchangeRequests(c, vi, plan)
 		}
-		clearScratch(vals, bytes, present)
+		ex.Reset()
+		arena.Reset()
 
 		// Sender side: pack my pieces for every domain active this round.
 		var sentIntra, sentInter int64
 		sp = t.Begin(obs.PhasePack, rloc)
-		for _, d := range plan.Domains {
+		for di := range plan.Domains {
+			d := &plan.Domains[di]
 			if r >= len(d.Windows) {
 				continue
 			}
 			w := d.Windows[r]
-			segs, packed := vi.Pack(data, w.Off, w.End())
+			segs, packed := vi.PackArena(&arena, data, w.Off, w.End())
 			if len(segs) == 0 {
 				continue
 			}
-			piece := shufflePiece{segs: segs, data: packed}
-			vals[d.Agg] = piece
-			bytes[d.Agg] = piece.wireBytes()
+			pieces[d.Agg] = shufflePiece{segs: segs, data: packed}
+			ex.Stage(d.Agg, &pieces[d.Agg], pieces[d.Agg].wireBytes())
 			i, x := localityOf(c, c.Rank(), d.Agg, packed.Len())
 			sentIntra += i
 			sentInter += x
@@ -208,14 +227,16 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		// intersect my current window.
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
-			for src, segs := range mine.othersReq {
-				present[src] = len(segs.Clip(w.Off, w.End())) > 0
+			for _, en := range mine.reqOrder {
+				if en.segs.Intersects(w.Off, w.End()) {
+					ex.Expect(en.src)
+				}
 			}
 		}
 
 		tExch := c.Now()
 		sp = t.Begin(obs.PhaseExchange, rloc)
-		out := c.AlltoallSparse(vals, bytes, present)
+		ex.Exchange()
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
@@ -227,7 +248,7 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 		// Aggregator: assemble and write this window.
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
-			cov := mine.coverage.Clip(w.Off, w.End())
+			cov := arena.Clip(mine.coverage, w.Off, w.End())
 			if len(cov) > 0 {
 				covLo, covHi := cov.Extent()
 				region := buffer.New(covHi-covLo, phantom)
@@ -245,13 +266,10 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 				}
 				tAsm := c.Now()
 				sp = t.Begin(obs.PhaseAssembly, rloc)
-				for _, v := range out {
-					if v == nil {
-						continue
-					}
-					piece := v.(shufflePiece)
+				ex.Received(func(_ int, v any) {
+					piece := v.(*shufflePiece)
 					iolib.ScatterIntoRegion(region, covLo, piece.segs, piece.data)
-				}
+				})
 				chargeAssembly(c, cov.TotalBytes())
 				sp.EndBytes(cov.TotalBytes(), 0)
 				m.AddExchange(0, 0, c.Now()-tAsm)
@@ -260,11 +278,10 @@ func ExecuteWrite(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.B
 					// One request per covered run, issued as a pipelined
 					// batch: never touches bytes between requests, so
 					// concurrent groups interleave safely.
-					offs := make([]int64, len(cov))
-					bufs := make([]buffer.Buf, len(cov))
-					for i, run := range cov {
-						offs[i] = run.Off
-						bufs[i] = region.Slice(run.Off-covLo, run.Len)
+					offs, bufs = offs[:0], bufs[:0]
+					for _, run := range cov {
+						offs = append(offs, run.Off)
+						bufs = append(bufs, region.Slice(run.Off-covLo, run.Len))
 						reqs++
 						ioBytes += run.Len
 					}
@@ -307,10 +324,13 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 	}
 	phantom := dst.Phantom()
 
-	// Exchange scratch, reused across rounds; see ExecuteWrite.
-	vals := make([]any, p)
-	bytes := make([]int64, p)
-	present := make([]bool, p)
+	// Per-collective scratch, reused across rounds; see ExecuteWrite
+	// for the pieces/arena ownership rules.
+	ex := c.SparseScratch()
+	pieces := make([]shufflePiece, p)
+	var arena datatype.Arena
+	var offs []int64
+	var bufs []buffer.Buf
 
 	for r := 0; r < plan.Rounds; r++ {
 		rloc := loc
@@ -326,13 +346,14 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 			// See ExecuteWrite: redo the request exchange post-failover.
 			mine = exchangeRequests(c, vi, plan)
 		}
-		clearScratch(vals, bytes, present)
+		ex.Reset()
+		arena.Reset()
 
 		// Aggregator: read my window's coverage and carve per-rank pieces.
 		var sentIntra, sentInter int64
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
-			cov := mine.coverage.Clip(w.Off, w.End())
+			cov := arena.Clip(mine.coverage, w.Off, w.End())
 			if len(cov) > 0 {
 				covLo, covHi := cov.Extent()
 				region := buffer.New(covHi-covLo, phantom)
@@ -340,11 +361,10 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 				// Read exactly the covered runs as one pipelined batch —
 				// a sparse window (grouped strategies) would otherwise
 				// fetch more hole bytes than data.
-				offs := make([]int64, len(cov))
-				bufs := make([]buffer.Buf, len(cov))
-				for i, run := range cov {
-					offs[i] = run.Off
-					bufs[i] = region.Slice(run.Off-covLo, run.Len)
+				offs, bufs = offs[:0], bufs[:0]
+				for _, run := range cov {
+					offs = append(offs, run.Off)
+					bufs = append(bufs, region.Slice(run.Off-covLo, run.Len))
 				}
 				sp = t.Begin(obs.PhaseIO, rloc)
 				f.ReadVec(c.Proc(), c.WorldRank(c.Rank()), offs, bufs)
@@ -353,15 +373,14 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 				em.aggRound(cov.TotalBytes(), c.Now()-tIO)
 				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
-				for src, segs := range mine.othersReq {
-					clip := segs.Clip(w.Off, w.End())
+				for _, en := range mine.reqOrder {
+					clip := arena.Clip(en.segs, w.Off, w.End())
 					if len(clip) == 0 {
 						continue
 					}
-					piece := shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
-					vals[src] = piece
-					bytes[src] = piece.wireBytes()
-					i, x := localityOf(c, c.Rank(), src, piece.data.Len())
+					pieces[en.src] = shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
+					ex.Stage(en.src, &pieces[en.src], pieces[en.src].wireBytes())
+					i, x := localityOf(c, c.Rank(), en.src, pieces[en.src].data.Len())
 					sentIntra += i
 					sentInter += x
 				}
@@ -371,19 +390,20 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		}
 		// Rank side: I expect a piece from every domain whose window
 		// intersects my view this round.
-		for _, d := range plan.Domains {
+		for di := range plan.Domains {
+			d := &plan.Domains[di]
 			if r >= len(d.Windows) {
 				continue
 			}
 			w := d.Windows[r]
-			if len(vi.Clip(w.Off, w.End())) > 0 {
-				present[d.Agg] = true
+			if vi.Intersects(w.Off, w.End()) {
+				ex.Expect(d.Agg)
 			}
 		}
 
 		tExch := c.Now()
 		sp = t.Begin(obs.PhaseExchange, rloc)
-		out := c.AlltoallSparse(vals, bytes, present)
+		ex.Exchange()
 		sp.EndBytes(sentIntra+sentInter, 0)
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
@@ -393,13 +413,10 @@ func ExecuteRead(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst buffer.Buf
 		}
 
 		sp = t.Begin(obs.PhasePack, rloc)
-		for _, v := range out {
-			if v == nil {
-				continue
-			}
-			piece := v.(shufflePiece)
+		ex.Received(func(_ int, v any) {
+			piece := v.(*shufflePiece)
 			vi.Unpack(dst, piece.segs, piece.data)
-		}
+		})
 		sp.End()
 	}
 }

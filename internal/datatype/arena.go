@@ -1,0 +1,71 @@
+package datatype
+
+import "sort"
+
+// Arena is a bump allocator for short-lived segment lists. Two-phase
+// I/O clips views and coverage against a window every round and drops
+// the results at the round boundary; allocating each clip individually
+// made those lists the dominant steady-state garbage of a large run.
+// An arena instead hands out sub-slices of one backing array and
+// recycles the whole array at a Reset point.
+//
+// Ownership rules (see DESIGN.md §14):
+//   - Lists returned by Arena methods are valid only until the next
+//     Reset. Callers must not retain them across the reset point.
+//   - Returned lists are capped (three-index slices), so a caller that
+//     appends gets a private copy rather than clobbering a neighbour.
+//   - A nil *Arena is valid and falls back to ordinary heap
+//     allocation, so call sites need not branch on pooling being on.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent
+// use; in the simulator each rank's collective call owns its own.
+type Arena struct {
+	buf []Segment
+}
+
+// Reset recycles every list handed out since the previous Reset. The
+// backing array is kept, so after warm-up an arena allocates nothing.
+func (a *Arena) Reset() {
+	if a != nil {
+		a.buf = a.buf[:0]
+	}
+}
+
+// Clip is l.Clip(lo, hi) with the result drawn from the arena: same
+// canonical output, no per-call allocation once the arena is warm.
+func (a *Arena) Clip(l List, lo, hi int64) List {
+	if a == nil {
+		return l.Clip(lo, hi)
+	}
+	if hi <= lo || len(l) == 0 {
+		return nil
+	}
+	start := len(a.buf)
+	// First segment whose end is past lo, as in List.Clip.
+	i := sort.Search(len(l), func(i int) bool { return l[i].End() > lo })
+	for ; i < len(l) && l[i].Off < hi; i++ {
+		s := l[i]
+		if s.Off < lo {
+			s.Len -= lo - s.Off
+			s.Off = lo
+		}
+		if s.End() > hi {
+			s.Len = hi - s.Off
+		}
+		if s.Len > 0 {
+			a.buf = append(a.buf, s)
+		}
+	}
+	if len(a.buf) == start {
+		return nil
+	}
+	return List(a.buf[start:len(a.buf):len(a.buf)])
+}
+
+// Cap returns the backing array's capacity, for instrumentation.
+func (a *Arena) Cap() int {
+	if a == nil {
+		return 0
+	}
+	return cap(a.buf)
+}

@@ -1,0 +1,64 @@
+package datatype
+
+import "testing"
+
+// benchView builds a fragmented view like an interleaved workload's:
+// many small segments with holes between them.
+func benchView(n int) List {
+	l := make(List, n)
+	for i := range l {
+		l[i] = Segment{Off: int64(i) * 2048, Len: 1024}
+	}
+	return l
+}
+
+// BenchmarkArenaClip is the round engine's hot clip: a warm arena
+// clipping a fragmented view against a sliding window, Reset at each
+// round boundary. The steady state must be allocation-free — the arena
+// recycles one backing array — which TestArenaClipZeroAllocs pins.
+func BenchmarkArenaClip(b *testing.B) {
+	l := benchView(256)
+	var a Arena
+	_, hi := l.Extent()
+	a.Clip(l, 0, hi) // warm the backing array to max size
+	a.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%128) * 1024
+		a.Clip(l, lo, lo+64<<10)
+		a.Reset()
+	}
+}
+
+// BenchmarkHeapClip is the same clip without an arena (the pre-pooling
+// path, still what a nil *Arena falls back to) — the allocs/op column
+// is the difference pooling makes.
+func BenchmarkHeapClip(b *testing.B) {
+	l := benchView(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%128) * 1024
+		l.Clip(lo, lo+64<<10)
+	}
+}
+
+// TestArenaClipZeroAllocs asserts the warm arena clips without heap
+// allocation: the collio round loop runs one clip set per (rank,
+// round), so any per-clip allocation multiplies into the dominant
+// steady-state garbage of a large run.
+func TestArenaClipZeroAllocs(t *testing.T) {
+	l := benchView(256)
+	var a Arena
+	_, hi := l.Extent()
+	a.Clip(l, 0, hi)
+	a.Reset()
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		lo := int64(i%128) * 1024
+		a.Clip(l, lo, lo+64<<10)
+		a.Reset()
+		i++
+	}); avg != 0 {
+		t.Fatalf("warm arena clip allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -110,6 +110,17 @@ func (l List) Clip(lo, hi int64) List {
 	return out
 }
 
+// Intersects reports whether any part of l lies inside [lo, hi) —
+// Clip-then-check-length without materialising the clipped list, for
+// the per-round presence tests on the exchange hot path.
+func (l List) Intersects(lo, hi int64) bool {
+	if hi <= lo || len(l) == 0 {
+		return false
+	}
+	i := sort.Search(len(l), func(i int) bool { return l[i].End() > lo })
+	return i < len(l) && l[i].Off < hi
+}
+
 // Shift returns l displaced by d bytes.
 func (l List) Shift(d int64) List {
 	out := make(List, len(l))

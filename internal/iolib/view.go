@@ -62,12 +62,25 @@ func (vi *ViewIndex) Clip(lo, hi int64) datatype.List {
 	return vi.view.Clip(lo, hi)
 }
 
+// Intersects reports whether the view touches [lo, hi) without
+// materialising the clipped list.
+func (vi *ViewIndex) Intersects(lo, hi int64) bool {
+	return vi.view.Intersects(lo, hi)
+}
+
 // Pack extracts from data the bytes of every view segment inside
 // [lo, hi), in file order, returning the clipped segments and the
 // packed payload. A phantom data buffer yields a phantom payload of the
 // right length — the same control flow either way.
 func (vi *ViewIndex) Pack(data buffer.Buf, lo, hi int64) (datatype.List, buffer.Buf) {
-	segs := vi.view.Clip(lo, hi)
+	return vi.PackArena(nil, data, lo, hi)
+}
+
+// PackArena is Pack with the clipped segment list drawn from arena a
+// (nil a falls back to heap allocation). The returned list obeys the
+// arena's lifetime rules: it must be consumed before the arena resets.
+func (vi *ViewIndex) PackArena(a *datatype.Arena, data buffer.Buf, lo, hi int64) (datatype.List, buffer.Buf) {
+	segs := a.Clip(vi.view, lo, hi)
 	total := segs.TotalBytes()
 	out := buffer.New(total, data.Phantom())
 	if data.Phantom() || total == 0 {

@@ -29,6 +29,19 @@ type Comm struct {
 	rank     int   // my rank within this communicator
 	group    []int // comm rank -> world rank
 	splitSeq int   // lockstep counter deriving split contexts
+
+	sparse *SparseExchange // cached SparseScratch result, lazily built
+}
+
+// SparseScratch returns this member's cached SparseExchange, creating
+// it on first use. One scratch per communicator member suffices because
+// exchange rounds on a comm never nest; reusing it keeps repeated
+// collective rounds from reallocating the O(size) staging arrays.
+func (c *Comm) SparseScratch() *SparseExchange {
+	if c.sparse == nil {
+		c.sparse = NewSparseExchange(c)
+	}
+	return c.sparse
 }
 
 // Rank returns the caller's rank in this communicator.
@@ -124,7 +137,7 @@ func (c *Comm) RecvVal(src, tag int) any {
 // recvAny pulls the next message on (src→me, tag) in this context.
 func (c *Comm) recvAny(src, tag int) any {
 	k := msgKey{src: c.group[src], dst: c.group[c.rank], ctx: c.ctx, tag: tag}
-	m := c.w.box(k).Get(c.p)
+	m := c.w.box(k).ch.Get(c.p)
 	return m.payload
 }
 
@@ -135,7 +148,7 @@ func (c *Comm) isend(dst, tag int, v any, bytes int64) {
 
 func (c *Comm) irecv(src, tag int) any {
 	k := msgKey{src: c.group[src], dst: c.group[c.rank], ctx: c.ctx, tag: tag}
-	return c.w.box(k).Get(c.p).payload
+	return c.w.box(k).ch.Get(c.p).payload
 }
 
 // Internal collective tag blocks. Tags are FIXED per collective type
@@ -172,14 +185,13 @@ func (c *Comm) Barrier() {
 	}
 	sp := c.Tracer().Begin(obs.PhaseMPIBarrier, c.traceLoc())
 	c.w.met.barriers.Inc()
-	c.w.barrierFor(c.ctx, p).Await(c.p)
 	steps := 0
 	for dist := 1; dist < p; dist *= 2 {
 		steps++
 	}
-	cfg := c.w.machine.Config()
-	hop := 2*cfg.NICLat + cfg.BisectionLat + 2*cfg.MemBusLat
-	c.p.Sleep(float64(steps) * hop)
+	// The release delay is folded into the barrier wake (one park per
+	// member instead of park-then-sleep); virtual times are unchanged.
+	c.w.barrierFor(c.ctx, p).AwaitDelay(c.p, float64(steps)*c.w.barrierHop)
 	sp.End()
 }
 
@@ -286,7 +298,7 @@ func (c *Comm) Alltoall(vals []any, bytes []int64) []any {
 	out[c.rank] = vals[c.rank]
 	if bytes[c.rank] > 0 {
 		// Self-exchange still crosses the local memory bus.
-		c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+		c.w.intraPaths[c.NodeOf(c.rank)].Transfer(c.p, bytes[c.rank])
 		sent += bytes[c.rank]
 	}
 	for step := 1; step < p; step++ {
@@ -308,18 +320,31 @@ func (c *Comm) Alltoall(vals []any, bytes []int64) []any {
 // sides. This keeps sparse shuffles (the common collective-I/O case —
 // each rank talks to a few aggregators) from paying p² latency.
 func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
+	out := make([]any, len(c.group))
+	c.AlltoallSparseInto(out, vals, bytes, present)
+	return out
+}
+
+// AlltoallSparseInto is AlltoallSparse writing received values into the
+// caller-owned out slice (length Size()), so a round loop can reuse one
+// result array instead of allocating p entries per exchange — the
+// single largest allocation site of a sweep before it was added. Every
+// entry of out is overwritten (non-present entries with nil).
+func (c *Comm) AlltoallSparseInto(out, vals []any, bytes []int64, present []bool) {
 	p := len(c.group)
-	if len(vals) != p || len(bytes) != p || len(present) != p {
+	if len(out) != p || len(vals) != p || len(bytes) != p || len(present) != p {
 		panic("mpi: alltoallsparse length mismatch")
 	}
 	const tag = tagAlltoall
 	sp := c.Tracer().Begin(obs.PhaseMPIAlltoall, c.traceLoc())
 	var sent, pairs int64
-	out := make([]any, p)
+	for i := range out {
+		out[i] = nil
+	}
 	if vals[c.rank] != nil {
 		out[c.rank] = vals[c.rank]
 		if bytes[c.rank] > 0 {
-			c.w.machine.MessagePath(c.group[c.rank], c.group[c.rank]).Transfer(c.p, bytes[c.rank])
+			c.w.intraPaths[c.NodeOf(c.rank)].Transfer(c.p, bytes[c.rank])
 			sent += bytes[c.rank]
 			pairs++
 		}
@@ -339,7 +364,6 @@ func (c *Comm) AlltoallSparse(vals []any, bytes []int64, present []bool) []any {
 	sp.EndBytes(sent, pairs)
 	c.w.met.alltoalls.Inc()
 	c.w.met.alltoallBytes.Add(float64(sent))
-	return out
 }
 
 // ReduceInt64 folds every member's value with op at root (op must be

@@ -37,15 +37,38 @@ type msgKey struct {
 	tag      int
 }
 
+// mailbox pairs a delivery channel with its queue of scheduled
+// in-flight messages. Arrivals on one mailbox are monotonic (the same
+// (src,dst,tag) stream reserves the same paths in send order, and the
+// fault path clamps explicitly), so pending is a FIFO and one reusable
+// flush closure replaces the per-message closure deliver used to
+// allocate.
+type mailbox struct {
+	ch      *simtime.Chan[message]
+	pending []message
+	head    int
+	flush   func()
+}
+
 // World is the universe of simulated MPI processes on one machine.
 type World struct {
 	engine   *simtime.Engine
 	machine  *cluster.Machine
 	size     int
-	boxes    map[msgKey]*simtime.Chan[message]
+	boxes    map[msgKey]*mailbox
 	barriers map[uint64]*simtime.Barrier // per communicator context
 
 	met worldMetrics
+
+	// Per-node delivery paths, built once at NewWorld. A path value is
+	// just an ordered view over shared *Link state, so one cached entry
+	// per node-direction replaces the per-message NewPath construction
+	// that dominated allocation in shuffle-heavy runs: the cost model is
+	// batched per node pair, not rebuilt per message.
+	txPaths    []resource.Path // node -> sender-side injection (membus, NIC tx)
+	rxPaths    []resource.Path // node -> fabric + receiver side (bisection, NIC rx, membus)
+	intraPaths []resource.Path // node -> same-node memory-bus pass
+	barrierHop float64         // one dissemination token hop, precomputed from Config
 
 	// faults, when non-nil, perturbs inter-node delivery (link
 	// slowdowns, message delay); lastArrival keeps each mailbox FIFO
@@ -86,14 +109,27 @@ func NewWorld(e *simtime.Engine, m *cluster.Machine, size int) (*World, error) {
 	if size <= 0 || size > m.NumRanks() {
 		return nil, fmt.Errorf("mpi: world size %d not in [1, %d]", size, m.NumRanks())
 	}
-	return &World{
+	w := &World{
 		engine:   e,
 		machine:  m,
 		size:     size,
-		boxes:    make(map[msgKey]*simtime.Chan[message]),
+		boxes:    make(map[msgKey]*mailbox),
 		barriers: make(map[uint64]*simtime.Barrier),
 		met:      newWorldMetrics(m.Metrics()),
-	}, nil
+	}
+	nn := m.NumNodes()
+	w.txPaths = make([]resource.Path, nn)
+	w.rxPaths = make([]resource.Path, nn)
+	w.intraPaths = make([]resource.Path, nn)
+	for n := 0; n < nn; n++ {
+		node := m.Node(n)
+		w.txPaths[n] = resource.NewPath(node.MemBus, node.NICTx)
+		w.rxPaths[n] = resource.NewPath(m.Bisection(), node.NICRx, node.MemBus)
+		w.intraPaths[n] = resource.NewPath(node.MemBus)
+	}
+	cfg := m.Config()
+	w.barrierHop = 2*cfg.NICLat + cfg.BisectionLat + 2*cfg.MemBusLat
+	return w, nil
 }
 
 // SetFaults attaches a fault schedule to the world's delivery layer;
@@ -134,10 +170,20 @@ func (w *World) Start(body func(*Comm)) {
 }
 
 // box returns (lazily creating) the mailbox for a routing key.
-func (w *World) box(k msgKey) *simtime.Chan[message] {
+func (w *World) box(k msgKey) *mailbox {
 	b := w.boxes[k]
 	if b == nil {
-		b = simtime.NewChan[message](w.engine, fmt.Sprintf("mbox %d->%d ctx%x tag%d", k.src, k.dst, k.ctx, k.tag))
+		b = &mailbox{ch: simtime.NewChan[message](w.engine, fmt.Sprintf("mbox %d->%d ctx%x tag%d", k.src, k.dst, k.ctx, k.tag))}
+		b.flush = func() {
+			msg := b.pending[b.head]
+			b.pending[b.head] = message{}
+			b.head++
+			if b.head == len(b.pending) {
+				b.pending = b.pending[:0]
+				b.head = 0
+			}
+			b.ch.Put(msg)
+		}
 		w.boxes[k] = b
 	}
 	return b
@@ -182,18 +228,14 @@ func (w *World) deliver(p *simtime.Proc, src, dst int, ctx uint64, tag int, msg 
 		w.bytesIntra += msg.bytes
 		w.msgsIntra++
 		// One memory-bus pass; sender is occupied for the whole copy.
-		w.machine.MessagePath(src, dst).Transfer(p, msg.bytes)
-		b.Put(msg)
+		w.intraPaths[sn].Transfer(p, msg.bytes)
+		b.ch.Put(msg)
 		return
 	}
 	w.bytesInter += msg.bytes
 	w.msgsInter++
-	srcNode := w.machine.Node(sn)
-	dstNode := w.machine.Node(dn)
-	txPath := resource.NewPath(srcNode.MemBus, srcNode.NICTx)
-	rxPath := resource.NewPath(w.machine.Bisection(), dstNode.NICRx, dstNode.MemBus)
-	txDone := txPath.Reserve(p.Now(), msg.bytes)
-	arrival := rxPath.Reserve(txDone, msg.bytes)
+	txDone := w.txPaths[sn].Reserve(p.Now(), msg.bytes)
+	arrival := w.rxPaths[dn].Reserve(txDone, msg.bytes)
 	if w.faults != nil {
 		// A degraded link stretches the remote (fabric + receiver) part
 		// of the delivery; either endpoint's link fault applies.
@@ -213,6 +255,7 @@ func (w *World) deliver(p *simtime.Proc, src, dst int, ctx uint64, tag int, msg 
 		}
 		w.lastArrival[k] = arrival
 	}
-	w.engine.After(arrival-p.Now(), func() { b.Put(msg) })
+	b.pending = append(b.pending, msg)
+	w.engine.After(arrival-p.Now(), b.flush)
 	p.WaitUntil(txDone)
 }

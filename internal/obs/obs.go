@@ -212,9 +212,11 @@ func (t *Tracer) now() float64 {
 	return t.clock()
 }
 
-// Span is an open interval returned by Begin. It is a value type so
-// the disabled path (nil tracer) costs no allocation; call End (or
-// EndBytes) exactly once.
+// Span is an open interval returned by Begin; call End (or EndBytes)
+// exactly once. Begin returns nil on a disabled tracer and every Span
+// method is nil-safe, so hot paths carry one word for instrumentation
+// that is off — constructing an inert ten-word Span per phase showed
+// up as measurable copy overhead in round-heavy simulations.
 type Span struct {
 	t     *Tracer
 	phase Phase
@@ -225,30 +227,31 @@ type Span struct {
 
 // Begin opens a span of phase p at loc, stamped now. On a nil tracer
 // it returns an inert Span.
-func (t *Tracer) Begin(p Phase, loc Loc) Span {
+func (t *Tracer) Begin(p Phase, loc Loc) *Span {
 	if t == nil {
-		return Span{}
+		return nil
 	}
-	return Span{t: t, phase: p, loc: loc, t0: t.now()}
+	return &Span{t: t, phase: p, loc: loc, t0: t.now()}
 }
 
 // BeginID opens a span carrying a correlation ID (a request ID). The
 // ID lands on the recorded event, so trace consumers can join the span
 // with external records (request logs) sharing the identifier. On a
 // nil tracer it returns an inert Span at zero cost.
-func (t *Tracer) BeginID(p Phase, loc Loc, id string) Span {
+func (t *Tracer) BeginID(p Phase, loc Loc, id string) *Span {
 	if t == nil {
-		return Span{}
+		return nil
 	}
-	return Span{t: t, phase: p, loc: loc, t0: t.now(), id: id}
+	return &Span{t: t, phase: p, loc: loc, t0: t.now(), id: id}
 }
 
-// End closes the span at the current virtual time.
-func (s Span) End() { s.EndBytes(0, 0) }
+// End closes the span at the current virtual time. Nil-safe.
+func (s *Span) End() { s.EndBytes(0, 0) }
 
-// EndBytes closes the span and attaches its numeric payload.
-func (s Span) EndBytes(bytes, extra int64) {
-	if s.t == nil {
+// EndBytes closes the span and attaches its numeric payload. Nil-safe:
+// a span from a disabled tracer is nil and ends for free.
+func (s *Span) EndBytes(bytes, extra int64) {
+	if s == nil || s.t == nil {
 		return
 	}
 	s.t.record(Event{Kind: KindSpan, Phase: s.phase, T0: s.t0, T1: s.t.now(),

@@ -261,7 +261,8 @@ func TestSpanIDRoundTrip(t *testing.T) {
 	sp := tr.BeginID("serve.plan", NoLoc, "req-42abc")
 	clk.t = 0.75
 	sp.EndBytes(128, 1)
-	tr.Begin(PhaseIO, testLoc(0, 0)).End() // an ID-less span stays ID-less
+	sp2 := tr.Begin(PhaseIO, testLoc(0, 0)) // an ID-less span stays ID-less
+	sp2.End()
 
 	ev := tr.Events()
 	if ev[0].ID != "req-42abc" || ev[1].ID != "" {

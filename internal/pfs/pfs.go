@@ -15,7 +15,6 @@ package pfs
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
@@ -89,6 +88,17 @@ type FS struct {
 	files   map[string]*fileData
 	rng     *stats.RNG
 	faults  *faults.Schedule // nil = no straggler-OST faults
+
+	// Per-node client paths and splitByOST scratch, built once at New.
+	// Paths are ordered views over shared *Link state, so one cached
+	// entry per node replaces a NewPath per request; the run scratch
+	// replaces the map+sort that dominated allocation in request-heavy
+	// sweeps. Both are touched only from simulation context, which the
+	// engine serializes, and runs is fully consumed before any yield.
+	storeTx  []resource.Path // node -> client write path (membus, NIC tx, I/O net)
+	storeRx  []resource.Path // node -> client read-return path (I/O net, NIC rx, membus)
+	runBytes []int64         // per-OST accumulator, zeroed after each split
+	runs     []ostRun        // reusable splitByOST result
 
 	reqs         int64
 	bytesRead    int64
@@ -170,6 +180,17 @@ func New(cfg Config, m *cluster.Machine) (*FS, error) {
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, resource.NewLink(fmt.Sprintf("ost%d", i), cfg.OSTBW, cfg.OSTLatency))
 	}
+	fs.storeTx = make([]resource.Path, m.NumNodes())
+	fs.storeRx = make([]resource.Path, m.NumNodes())
+	for r := 0; r < m.NumRanks(); r++ {
+		sn := m.NodeOfRank(r)
+		if len(fs.storeTx[sn].Links()) == 0 {
+			fs.storeTx[sn] = m.StoragePath(r)
+			fs.storeRx[sn] = m.StorageReturnPath(r)
+		}
+	}
+	fs.runBytes = make([]int64, cfg.OSTs)
+	fs.runs = make([]ostRun, 0, cfg.OSTs)
 	return fs, nil
 }
 
@@ -262,16 +283,17 @@ type ostRun struct {
 	bytes int64
 }
 
-// splitByOST decomposes the file extent [off, off+n) into per-OST runs.
-// Stripes land round-robin, so within one contiguous file extent each
-// OST's pieces are contiguous in its object space and count as a single
-// request (Lustre clients batch exactly this way).
+// splitByOST decomposes the file extent [off, off+n) into per-OST runs,
+// ascending by OST. Stripes land round-robin, so within one contiguous
+// file extent each OST's pieces are contiguous in its object space and
+// count as a single request (Lustre clients batch exactly this way).
+// The returned slice is FS-owned scratch, valid until the next call;
+// callers consume it before yielding to the engine.
 func (fs *FS) splitByOST(off, n int64) []ostRun {
 	if n == 0 {
 		return nil
 	}
 	su := fs.cfg.StripeUnit
-	perOST := make(map[int]int64)
 	pos := off
 	remaining := n
 	for remaining > 0 {
@@ -281,16 +303,18 @@ func (fs *FS) splitByOST(off, n int64) []ostRun {
 			inStripe = remaining
 		}
 		ost := int(stripe % int64(fs.cfg.OSTs))
-		perOST[ost] += inStripe
+		fs.runBytes[ost] += inStripe
 		pos += inStripe
 		remaining -= inStripe
 	}
-	runs := make([]ostRun, 0, len(perOST))
-	for ost, b := range perOST {
-		runs = append(runs, ostRun{ost: ost, bytes: b})
+	fs.runs = fs.runs[:0]
+	for ost, b := range fs.runBytes {
+		if b != 0 {
+			fs.runs = append(fs.runs, ostRun{ost: ost, bytes: b})
+			fs.runBytes[ost] = 0
+		}
 	}
-	sort.Slice(runs, func(i, j int) bool { return runs[i].ost < runs[j].ost })
-	return runs
+	return fs.runs
 }
 
 // WriteAt writes buf at file offset off on behalf of rank, blocking p
@@ -309,11 +333,11 @@ func (f *File) WriteAt(p *simtime.Proc, rank int, off int64, buf buffer.Buf) flo
 	loc := f.fs.traceLoc(rank)
 	sp := t.Begin(obs.PhasePFSWrite, loc)
 	f.storeBytes(off, buf)
-	base := f.fs.machine.StoragePath(rank)
+	base := f.fs.storeTx[f.fs.machine.NodeOfRank(rank)]
 	done := p.Now()
 	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
-		end := f.fs.slowEnd(p.Now(), base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
+		end := f.fs.slowEnd(p.Now(), base.ReserveTail(p.Now(), run.bytes, f.fs.osts[run.ost]), run.ost) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
@@ -343,11 +367,11 @@ func (f *File) ReadAt(p *simtime.Proc, rank int, off int64, dst buffer.Buf) floa
 	loc := f.fs.traceLoc(rank)
 	sp := t.Begin(obs.PhasePFSRead, loc)
 	f.loadBytes(off, dst)
-	base := f.fs.machine.StorageReturnPath(rank)
+	base := f.fs.storeRx[f.fs.machine.NodeOfRank(rank)]
 	done := p.Now()
 	var reqs int64
 	for _, run := range f.fs.splitByOST(off, n) {
-		end := f.fs.slowEnd(p.Now(), resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
+		end := f.fs.slowEnd(p.Now(), base.ReserveHead(p.Now(), run.bytes, f.fs.osts[run.ost]), run.ost) + f.fs.jitter()
 		if end > done {
 			done = end
 		}
@@ -373,7 +397,7 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 	t := f.fs.machine.Tracer()
 	loc := f.fs.traceLoc(rank)
 	sp := t.Begin(obs.PhasePFSWrite, loc)
-	base := f.fs.machine.StoragePath(rank)
+	base := f.fs.storeTx[f.fs.machine.NodeOfRank(rank)]
 	done := p.Now()
 	var reqs, bytes int64
 	for i, off := range offs {
@@ -386,7 +410,7 @@ func (f *File) WriteVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.B
 		}
 		f.storeBytes(off, bufs[i])
 		for _, run := range f.fs.splitByOST(off, n) {
-			end := f.fs.slowEnd(p.Now(), base.Extend(f.fs.osts[run.ost]).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
+			end := f.fs.slowEnd(p.Now(), base.ReserveTail(p.Now(), run.bytes, f.fs.osts[run.ost]), run.ost) + f.fs.jitter()
 			if end > done {
 				done = end
 			}
@@ -412,7 +436,7 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 	t := f.fs.machine.Tracer()
 	loc := f.fs.traceLoc(rank)
 	sp := t.Begin(obs.PhasePFSRead, loc)
-	base := f.fs.machine.StorageReturnPath(rank)
+	base := f.fs.storeRx[f.fs.machine.NodeOfRank(rank)]
 	done := p.Now()
 	var reqs, bytes int64
 	for i, off := range offs {
@@ -425,7 +449,7 @@ func (f *File) ReadVec(p *simtime.Proc, rank int, offs []int64, bufs []buffer.Bu
 		}
 		f.loadBytes(off, bufs[i])
 		for _, run := range f.fs.splitByOST(off, n) {
-			end := f.fs.slowEnd(p.Now(), resource.NewPath(f.fs.osts[run.ost]).Extend(base.Links()...).Reserve(p.Now(), run.bytes), run.ost) + f.fs.jitter()
+			end := f.fs.slowEnd(p.Now(), base.ReserveHead(p.Now(), run.bytes, f.fs.osts[run.ost]), run.ost) + f.fs.jitter()
 			if end > done {
 				done = end
 			}
@@ -490,9 +514,7 @@ func (f *File) loadBytes(off int64, dst buffer.Buf) {
 		if b := f.data.blocks[blk]; b != nil {
 			copy(out[pos:pos+chunk], b[blkOff:blkOff+chunk])
 		} else {
-			for i := pos; i < pos+chunk; i++ {
-				out[i] = 0
-			}
+			clear(out[pos : pos+chunk])
 		}
 		pos += chunk
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/simtime"
 )
 
-func testRig(t *testing.T) (*cluster.Machine, *FS) {
+func testRig(t testing.TB) (*cluster.Machine, *FS) {
 	t.Helper()
 	m, err := cluster.New(cluster.Config{
 		Nodes: 2, CoresPerNode: 2,

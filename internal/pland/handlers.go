@@ -235,7 +235,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 //	forward-hit   proxied to the owner, who had it cached (or
 //	              coalesced onto a run already in flight)
 //	forward-miss  proxied to the owner, who ran the planner
-func (s *Server) serveClustered(w http.ResponseWriter, rec *logx.Record, sp obs.Span, fp string, raw []byte, rid string, start time.Time) bool {
+func (s *Server) serveClustered(w http.ResponseWriter, rec *logx.Record, sp *obs.Span, fp string, raw []byte, rid string, start time.Time) bool {
 	target := s.clu.route(fp)
 	if target == s.clu.self {
 		return false

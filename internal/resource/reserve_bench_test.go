@@ -1,0 +1,53 @@
+package resource
+
+import "testing"
+
+// benchSink keeps the reserve results live so the compiler cannot
+// discard the benchmark body.
+var benchSink float64
+
+// BenchmarkReserveTail is the storage write path's batched cost model:
+// the cached client path (memory bus, I/O NIC) plus a per-run OST tail,
+// reserved in one pass without materialising an extended Path. One call
+// per (rank, OST run) in every I/O round, so the steady state must be
+// allocation-free — TestReserveZeroAllocs pins it.
+func BenchmarkReserveTail(b *testing.B) {
+	base := NewPath(NewLink("membus", 1e10, 1e-7), NewLink("ionet", 1e9, 1e-6))
+	tail := NewLink("ost", 1e8, 1e-3)
+	b.ReportAllocs()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now = base.ReserveTail(now, 1<<20, tail)
+	}
+	benchSink = now
+}
+
+// BenchmarkReserveHead is the read path's mirror: the OST serves first,
+// then the client-side links carry the bytes home.
+func BenchmarkReserveHead(b *testing.B) {
+	base := NewPath(NewLink("ionet", 1e9, 1e-6), NewLink("membus", 1e10, 1e-7))
+	head := NewLink("ost", 1e8, 1e-3)
+	b.ReportAllocs()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now = base.ReserveHead(now, 1<<20, head)
+	}
+	benchSink = now
+}
+
+// TestReserveZeroAllocs asserts the three reserve entry points run
+// without heap allocation: they are called once per message and once
+// per OST run on the simulator's hottest paths.
+func TestReserveZeroAllocs(t *testing.T) {
+	base := NewPath(NewLink("membus", 1e10, 1e-7), NewLink("nic", 1e9, 1e-6))
+	extra := NewLink("ost", 1e8, 1e-3)
+	now := 0.0
+	if avg := testing.AllocsPerRun(200, func() {
+		now = base.Reserve(now, 1<<16)
+		now = base.ReserveTail(now, 1<<16, extra)
+		now = base.ReserveHead(now, 1<<16, extra)
+	}); avg != 0 {
+		t.Fatalf("reserve path allocates %.1f objects/op, want 0", avg)
+	}
+	benchSink = now
+}

@@ -147,30 +147,62 @@ func (pa Path) Transfer(p *simtime.Proc, n int64) float64 {
 // and returns the completion time without blocking. See Transfer for
 // the pacing model.
 func (pa Path) Reserve(now float64, n int64) float64 {
-	if len(pa.links) == 0 {
+	return reserveSeq(pa.links, nil, now, n)
+}
+
+// ReserveTail is Reserve over the path's hops followed by tail — the
+// arithmetic pa.Extend(tail).Reserve(now, n) performs — without
+// building a new path. Hot callers (one storage target appended per
+// request) use it to keep the reservation alloc-free.
+func (pa Path) ReserveTail(now float64, n int64, tail *Link) float64 {
+	t := [1]*Link{tail}
+	return reserveSeq(pa.links, t[:], now, n)
+}
+
+// ReserveHead is Reserve with head prepended to the path's hops — the
+// arithmetic NewPath(head).Extend(pa.Links()...).Reserve(now, n)
+// performs — without building a new path.
+func (pa Path) ReserveHead(now float64, n int64, head *Link) float64 {
+	h := [1]*Link{head}
+	return reserveSeq(h[:], pa.links, now, n)
+}
+
+// reserveSeq reserves across the hops of a followed by b. Reserve and
+// its zero-alloc variants all route here so the float arithmetic —
+// latency summation order in particular — cannot drift between them.
+func reserveSeq(a, b []*Link, now float64, n int64) float64 {
+	if len(a)+len(b) == 0 {
 		return now
 	}
 	if n < 0 {
 		panic(fmt.Sprintf("resource: negative transfer %d on path", n))
 	}
 	start := now
-	var latSum float64
-	bottleneck := pa.links[0].bandwidth
-	for _, l := range pa.links {
-		if l.availAt > start {
-			start = l.availAt
-		}
-		latSum += l.latency
-		if l.bandwidth < bottleneck {
-			bottleneck = l.bandwidth
+	var latSum, bottleneck float64
+	first := true
+	for _, links := range [2][]*Link{a, b} {
+		for _, l := range links {
+			if first {
+				bottleneck = l.bandwidth
+				first = false
+			}
+			if l.availAt > start {
+				start = l.availAt
+			}
+			latSum += l.latency
+			if l.bandwidth < bottleneck {
+				bottleneck = l.bandwidth
+			}
 		}
 	}
-	for _, l := range pa.links {
-		svc := l.serviceTime(n)
-		l.availAt = start + svc
-		l.busy += svc
-		l.bytesIn += n
-		l.transfers++
+	for _, links := range [2][]*Link{a, b} {
+		for _, l := range links {
+			svc := l.serviceTime(n)
+			l.availAt = start + svc
+			l.busy += svc
+			l.bytesIn += n
+			l.transfers++
+		}
 	}
 	return start + float64(n)/bottleneck + latSum
 }

@@ -15,14 +15,16 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 )
 
 // event is a scheduled occurrence: either the resumption of a parked
-// process or the invocation of a bare callback (timer).
+// process or the invocation of a bare callback (timer). Events are
+// stored by value in a flat heap — no per-event boxing — because the
+// queue is the single hottest allocation site of a large simulation
+// (millions of schedule calls per run).
 type event struct {
 	at  float64
 	seq uint64 // FIFO tie-break for simultaneous events
@@ -30,24 +32,68 @@ type event struct {
 	fn  func() // non-nil: run this callback
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a hand-rolled binary min-heap of event values ordered
+// by (at, seq). Compared to container/heap over []*event it avoids the
+// per-event pointer allocation and the interface boxing of Push/Pop;
+// the backing array is reused across the whole run, so steady-state
+// scheduling is allocation-free.
+type eventQueue struct {
+	heap []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// less orders events by time, FIFO (schedule order) within one instant.
+func (q *eventQueue) less(i, j int) bool {
+	if q.heap[i].at != q.heap[j].at {
+		return q.heap[i].at < q.heap[j].at
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+// push inserts ev, sifting it up to its heap position.
+func (q *eventQueue) push(ev event) {
+	q.heap = append(q.heap, ev)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. It panics on an empty
+// queue: the run loop checks emptiness first, so a bare pop always
+// indicates a scheduler bug.
+func (q *eventQueue) pop() event {
+	n := len(q.heap) - 1
+	ev := q.heap[0]
+	q.heap[0] = q.heap[n]
+	q.heap[n] = event{} // release the fn/proc references
+	q.heap = q.heap[:n]
+	q.siftDown(0)
 	return ev
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		i = least
+	}
 }
 
 // Engine is a discrete-event simulation. The zero value is not usable;
@@ -55,7 +101,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	yield   chan struct{} // handshake: running proc -> scheduler
 	running bool
 	cur     *Proc
@@ -87,7 +133,31 @@ func (e *Engine) schedule(at float64, p *Proc, fn func()) {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("simtime: schedule at non-finite time %g", at))
 	}
-	heap.Push(&e.events, &event{at: at, seq: e.nextSeq(), p: p, fn: fn})
+	e.events.push(event{at: at, seq: e.nextSeq(), p: p, fn: fn})
+}
+
+// advanceInline reports whether the running process may advance the
+// clock to at without parking: no pending event precedes at, so a
+// park would be immediately followed by this process's own resumption.
+// Skipping the round trip elides two goroutine handshakes — the
+// dominant host cost of chained resource reservations (storage
+// batches, message injection). An event already queued AT at must
+// still win (its tie-break sequence predates the wake we would have
+// scheduled), hence the strict comparison. After Stop the slow path is
+// kept so a looping process still yields control to the drained run
+// loop.
+func (e *Engine) advanceInline(at float64) bool {
+	if !e.running || e.stopped {
+		return false
+	}
+	if len(e.events.heap) != 0 && e.events.heap[0].at <= at {
+		return false
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("simtime: advance to non-finite time %g", at))
+	}
+	e.now = at
+	return true
 }
 
 // After schedules fn to run after delay d. It may be called from inside
@@ -117,22 +187,67 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		body(p)
 		p.state = stateDone
 		e.alive--
-		e.yield <- struct{}{}
+		e.handoff(nil)
 	}()
 	e.schedule(e.now, p, nil)
 	return p
 }
 
-// dispatch resumes p and blocks until p parks or finishes.
-func (e *Engine) dispatch(p *Proc) {
-	if p.state == stateDone {
-		return
+// next drains events on the caller's goroutine until one resumes a
+// process, and returns that process (without dispatching it), or nil
+// when the queue is empty or Stop was called. Callback (timer) events
+// run inline here: exactly one goroutine executes simulation code at a
+// time, so a callback is safe on whichever goroutine holds the run
+// token, and running it in place saves the engine-goroutine round trip
+// that used to cost two context switches per timer.
+func (e *Engine) next() *Proc {
+	for len(e.events.heap) > 0 && !e.stopped {
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic("simtime: time went backwards")
+		}
+		e.now = ev.at
+		if ev.p != nil {
+			if ev.p.state == stateDone {
+				continue // proc was killed/finished before its wake fired
+			}
+			return ev.p
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
 	}
-	p.state = stateRunning
-	e.cur = p
-	p.resume <- struct{}{}
-	<-e.yield
+	return nil
+}
+
+// handoff passes the run token from the calling goroutine to the next
+// runnable process — directly, without waking the engine goroutine.
+// Chaining proc→proc halves the handshake cost of a context switch
+// (one channel send instead of park-engine-dispatch's two pairs),
+// which is the dominant host cost of a large simulation. Control
+// returns to the engine goroutine only when no event remains (finish,
+// deadlock, or Stop).
+//
+// It reports whether the next runnable process is self: sending on
+// one's own unbuffered resume channel would deadlock, so a parking
+// process whose own wake is next simply keeps the token — no channel
+// operation at all. (A finished process passes self=nil; its wakes are
+// skipped by next.)
+func (e *Engine) handoff(self *Proc) bool {
+	nxt := e.next()
+	if nxt == self && nxt != nil {
+		e.cur = nxt
+		return true
+	}
+	if nxt != nil {
+		nxt.state = stateRunning
+		e.cur = nxt
+		nxt.resume <- struct{}{}
+		return false
+	}
 	e.cur = nil
+	e.yield <- struct{}{}
+	return false
 }
 
 // Run executes events until none remain or Stop is called. It returns a
@@ -146,20 +261,17 @@ func (e *Engine) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("simtime: time went backwards")
+	for {
+		nxt := e.next()
+		if nxt == nil {
+			break // queue drained or stopped
 		}
-		e.now = ev.at
-		if ev.p != nil {
-			if ev.p.state == stateDone {
-				continue // proc was killed/finished before its wake fired
-			}
-			e.dispatch(ev.p)
-		} else if ev.fn != nil {
-			ev.fn()
-		}
+		nxt.state = stateRunning
+		e.cur = nxt
+		nxt.resume <- struct{}{}
+		// The run token now chains from process to process; it comes
+		// back here only when the simulation can make no further step.
+		<-e.yield
 	}
 	if e.stopped {
 		return nil

@@ -37,11 +37,14 @@ func (p *Proc) Engine() *Engine { return p.e }
 
 // park blocks the process until something reschedules it. The caller
 // must have arranged a future wake (an event or a waiter-list entry).
+// The run token is handed directly to the next runnable process; see
+// Engine.handoff.
 func (p *Proc) park(reason string) {
 	p.state = stateParked
 	p.waitingOn = reason
-	p.e.yield <- struct{}{}
-	<-p.resume
+	if !p.e.handoff(p) {
+		<-p.resume
+	}
 	p.state = stateRunning
 	p.waitingOn = ""
 }
@@ -63,7 +66,11 @@ func (p *Proc) Sleep(d float64) {
 		p.park("sleep 0")
 		return
 	}
-	p.e.schedule(p.e.now+d, p, nil)
+	at := p.e.now + d
+	if p.e.advanceInline(at) {
+		return
+	}
+	p.e.schedule(at, p, nil)
 	p.park("sleep")
 }
 
@@ -72,6 +79,9 @@ func (p *Proc) Sleep(d float64) {
 func (p *Proc) WaitUntil(t float64) {
 	if t <= p.e.now {
 		p.Yield()
+		return
+	}
+	if p.e.advanceInline(t) {
 		return
 	}
 	p.e.schedule(t, p, nil)

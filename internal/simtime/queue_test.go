@@ -1,0 +1,211 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQueuePopEmptyPanics pins the contract documented on pop: the run
+// loop guards emptiness, so a bare pop on an empty queue is a scheduler
+// bug and must fail loudly rather than return a zero event.
+func TestQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop on empty queue did not panic")
+		}
+	}()
+	var q eventQueue
+	q.pop()
+}
+
+// TestQueueEqualTimestampFIFO drains a heap loaded with many events at
+// few distinct timestamps and checks full (at, seq) order: within one
+// instant, events must come out in schedule order. This is the
+// tie-break the flattened siftDown must preserve — a heap that compares
+// only on time would be stable by accident at small sizes and wrong at
+// large ones.
+func TestQueueEqualTimestampFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	var seq uint64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		seq++
+		// Only 8 distinct timestamps: dense ties.
+		q.push(event{at: float64(rng.Intn(8)), seq: seq})
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		ev := q.pop()
+		if i > 0 {
+			if ev.at < prev.at {
+				t.Fatalf("pop %d: time went backwards: %g after %g", i, ev.at, prev.at)
+			}
+			if ev.at == prev.at && ev.seq < prev.seq {
+				t.Fatalf("pop %d: FIFO violated at t=%g: seq %d after %d", i, ev.at, ev.seq, prev.seq)
+			}
+		}
+		prev = ev
+	}
+	if len(q.heap) != 0 {
+		t.Fatalf("queue not drained: %d left", len(q.heap))
+	}
+}
+
+// TestQueueInterleavedPushPop mixes pushes and pops the way a live
+// simulation does (wakes scheduled while draining) and checks the
+// result against a sort of the same records.
+func TestQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var q eventQueue
+	var seq uint64
+	var all, got []event
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		if len(q.heap) == 0 || rng.Intn(3) != 0 {
+			seq++
+			ev := event{at: now + float64(rng.Intn(4)), seq: seq}
+			q.push(ev)
+			all = append(all, ev)
+		} else {
+			ev := q.pop()
+			now = ev.at
+			got = append(got, ev)
+		}
+	}
+	for len(q.heap) > 0 {
+		got = append(got, q.pop())
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].seq < all[j].seq
+	})
+	if len(got) != len(all) {
+		t.Fatalf("drained %d events, pushed %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i].at != all[i].at || got[i].seq != all[i].seq {
+			t.Fatalf("pop %d: got (%g,%d), want (%g,%d)", i, got[i].at, got[i].seq, all[i].at, all[i].seq)
+		}
+	}
+}
+
+// TestAdvanceInlineYieldsToEqualTimeEvent checks the strict comparison
+// in advanceInline: a process sleeping to exactly the time of an
+// already-queued event must park so the queued event (older sequence
+// number) runs first. An inline advance here would reorder
+// simultaneous events and break determinism.
+func TestAdvanceInlineYieldsToEqualTimeEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(1, func() { order = append(order, "timer") })
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(1) // wakes at t=1, same instant as the timer
+		order = append(order, "sleeper")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"timer", "sleeper"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// TestAdvanceInlineSkipsPark checks the fast path itself: a lone
+// process chaining sleeps with an empty queue advances the clock
+// without ever re-entering the event queue, and lands at the same
+// virtual time the slow path would produce.
+func TestAdvanceInlineSkipsPark(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("lone", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(0.5)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("clock at %g, want 500", e.Now())
+	}
+}
+
+// TestAdvanceInlineRespectsStop pins the Stop interaction: a process
+// looping on Sleep must still go through the queue once Stop is called
+// so the drained run loop regains control, instead of spinning the
+// clock forward forever on the inline path.
+func TestAdvanceInlineRespectsStop(t *testing.T) {
+	e := NewEngine()
+	var wakes int
+	e.Spawn("looper", func(p *Proc) {
+		for {
+			p.Sleep(1)
+			wakes++
+			if wakes == 3 {
+				e.Stop()
+			}
+			if wakes > 3 {
+				t.Error("looper ran past Stop")
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 3 {
+		t.Fatalf("looper woke %d times, want 3", wakes)
+	}
+}
+
+// BenchmarkEventQueue measures steady-state push/pop with a warm
+// backing array. The queue is the hottest structure in a run; it must
+// not allocate once the array has grown to the working-set size.
+func BenchmarkEventQueue(b *testing.B) {
+	var q eventQueue
+	var seq uint64
+	// Warm: keep ~64 events resident, as a mid-size simulation does.
+	for i := 0; i < 64; i++ {
+		seq++
+		q.push(event{at: float64(i), seq: seq})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		seq++
+		ev.at += 64
+		ev.seq = seq
+		q.push(ev)
+	}
+	if testing.AllocsPerRun(100, func() {
+		ev := q.pop()
+		q.push(ev)
+	}) != 0 {
+		b.Fatal("event queue allocated in steady state")
+	}
+}
+
+// BenchmarkSleepChain measures the whole-engine cost of a process
+// advancing time with no competing events — the inline fast path.
+func BenchmarkSleepChain(b *testing.B) {
+	e := NewEngine()
+	done := make(chan struct{})
+	e.Spawn("lone", func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+		close(done)
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}

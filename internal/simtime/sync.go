@@ -5,20 +5,21 @@ import "fmt"
 // Signal is a broadcast/wake-one condition for simulated processes.
 // The zero value is not usable; construct with NewSignal.
 type Signal struct {
-	e       *Engine
-	name    string
-	waiters []*Proc
+	e          *Engine
+	name       string
+	parkReason string // precomputed: concatenating per Wait allocates
+	waiters    []*Proc
 }
 
 // NewSignal returns a Signal bound to engine e.
 func NewSignal(e *Engine, name string) *Signal {
-	return &Signal{e: e, name: name}
+	return &Signal{e: e, name: name, parkReason: "signal " + name}
 }
 
 // Wait parks p until another process calls Broadcast or WakeOne.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
-	p.park("signal " + s.name)
+	p.park(s.parkReason)
 }
 
 // Broadcast wakes every waiter at the current virtual time.
@@ -36,7 +37,9 @@ func (s *Signal) WakeOne() bool {
 		return false
 	}
 	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	copy(s.waiters, s.waiters[1:])
+	s.waiters[len(s.waiters)-1] = nil
+	s.waiters = s.waiters[:len(s.waiters)-1]
 	w.wake()
 	return true
 }
@@ -53,6 +56,7 @@ type Chan[T any] struct {
 	name       string
 	parkReason string // precomputed: park reasons are built per blocking call otherwise
 	items      []T
+	head       int // index of the oldest live item; items[:head] are consumed
 	waiters    []*Proc
 }
 
@@ -63,53 +67,65 @@ func NewChan[T any](e *Engine, name string) *Chan[T] {
 
 // Put appends v and wakes the longest-waiting receiver, if any.
 func (c *Chan[T]) Put(v T) {
+	if c.head == len(c.items) {
+		// Drained: restart at the front so steady-state Put/Get traffic
+		// reuses the backing array instead of growing it forever (the
+		// items[1:] idiom strands consumed capacity behind the slice base).
+		c.items = c.items[:0]
+		c.head = 0
+	}
 	c.items = append(c.items, v)
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		// Shift rather than re-slice so the backing array is reused; the
+		// queue is almost always length 1, so the copy is a single move.
+		copy(c.waiters, c.waiters[1:])
+		c.waiters[len(c.waiters)-1] = nil
+		c.waiters = c.waiters[:len(c.waiters)-1]
 		w.wake()
 	}
 }
 
 // Get removes and returns the oldest item, blocking p until one exists.
 func (c *Chan[T]) Get(p *Proc) T {
-	for len(c.items) == 0 {
+	for c.head == len(c.items) {
 		c.waiters = append(c.waiters, p)
 		p.park(c.parkReason)
 	}
-	v := c.items[0]
+	v := c.items[c.head]
 	// Avoid retaining a reference in the backing array.
 	var zero T
-	c.items[0] = zero
-	c.items = c.items[1:]
+	c.items[c.head] = zero
+	c.head++
 	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (c *Chan[T]) TryGet() (T, bool) {
 	var zero T
-	if len(c.items) == 0 {
+	if c.head == len(c.items) {
 		return zero, false
 	}
-	v := c.items[0]
-	c.items[0] = zero
-	c.items = c.items[1:]
+	v := c.items[c.head]
+	c.items[c.head] = zero
+	c.head++
 	return v, true
 }
 
 // Len returns the number of queued items.
-func (c *Chan[T]) Len() int { return len(c.items) }
+func (c *Chan[T]) Len() int { return len(c.items) - c.head }
 
 // Barrier blocks a fixed-size party of processes until all have
 // arrived. It is reusable: generation counting lets the same Barrier
 // synchronise successive phases.
 type Barrier struct {
-	e       *Engine
-	name    string
-	parties int
-	arrived int
-	gen     int
-	waiters []*Proc
+	e          *Engine
+	name       string
+	parkReason string // precomputed: a barrier parks every rank every round
+	parties    int
+	arrived    int
+	gen        int
+	waiters    []*Proc
 }
 
 // NewBarrier returns a barrier for the given party size.
@@ -117,7 +133,7 @@ func NewBarrier(e *Engine, name string, parties int) *Barrier {
 	if parties <= 0 {
 		panic(fmt.Sprintf("simtime: barrier %q with parties=%d", name, parties))
 	}
-	return &Barrier{e: e, name: name, parties: parties}
+	return &Barrier{e: e, name: name, parkReason: "barrier " + name, parties: parties}
 }
 
 // Await blocks p until parties processes have called Await in the
@@ -137,6 +153,41 @@ func (b *Barrier) Await(p *Proc) {
 	gen := b.gen
 	b.waiters = append(b.waiters, p)
 	for gen == b.gen {
-		p.park("barrier " + b.name)
+		p.park(b.parkReason)
+	}
+}
+
+// AwaitDelay is Await with the release deferred by delay seconds: every
+// member (the last arriver included) resumes at arrival-of-last + delay.
+// Callers that would otherwise follow Await with a fixed Sleep (e.g. a
+// modelled log₂p token cascade) should fold the sleep in here: the
+// virtual outcome is identical — the releaser resumes first, then the
+// waiters in arrival order, exactly as Await-then-Sleep interleaves —
+// but each waiter parks once instead of twice, which halves the
+// context-switch bill of a barrier at large party counts.
+func (b *Barrier) AwaitDelay(p *Proc, delay float64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simtime: barrier %q with negative delay %g", b.name, delay))
+	}
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		at := b.e.now + delay
+		// Schedule self before the waiters so the releaser keeps the
+		// first slot at the release instant, matching the order the
+		// unfolded Await + Sleep sequence produced.
+		b.e.schedule(at, p, nil)
+		for _, w := range b.waiters {
+			b.e.schedule(at, w, nil)
+		}
+		b.waiters = b.waiters[:0]
+		p.park(b.parkReason)
+		return
+	}
+	gen := b.gen
+	b.waiters = append(b.waiters, p)
+	for gen == b.gen {
+		p.park(b.parkReason)
 	}
 }
