@@ -80,7 +80,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | regression | chaos | sweep | serve | profile | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | fig8 | ablation | memory | exascale | stripes | phases | strategies | regression | chaos | sweep | serve | profile | all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default experiment size)")
 		seed       = flag.Uint64("seed", 42, "seed for memory variance and storage jitter")
 		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial); results are byte-identical for every value")
@@ -208,6 +208,26 @@ func main() {
 			exit(1)
 		}
 		tables = append(tables, t)
+	}
+	if *experiment == "strategies" {
+		// The per-strategy comparison on the node-shared workload: the
+		// rows CI's two-layer gates assert on. Fixed-seed and virtual-
+		// time like the regression bench, so -json output is a golden.
+		fmt.Fprintf(os.Stderr, "running strategies (scale %.3g)...\n", *scale)
+		traj, err := bench.RunStrategies(opts, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mccio-bench: strategies: %v\n", err)
+			exit(1)
+		}
+		tables = append(tables, bench.StrategiesTable(traj))
+		if *jsonPath != "" {
+			traj.Created = time.Now().UTC().Format(time.RFC3339)
+			if err := bench.WriteBenchFile(*jsonPath, traj); err != nil {
+				fmt.Fprintf(os.Stderr, "mccio-bench: %v\n", err)
+				exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
 	}
 	if *experiment == "regression" {
 		fmt.Fprintf(os.Stderr, "running regression (scale %.3g)...\n", *scale)

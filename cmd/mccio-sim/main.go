@@ -6,6 +6,7 @@
 //
 //	mccio-sim -strategy mccio -op write -workload ior -procs 120 -mem 8MB
 //	mccio-sim -strategy two-phase -workload collperf -dim 512 -mem 16MB
+//	mccio-sim -strategy two-layer -workload ior -procs 48 -cores 4 -mem 16MB
 //	mccio-sim -strategy independent -workload random -procs 24
 package main
 
@@ -27,7 +28,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/strategy"
 	"repro/internal/trace"
+	"repro/internal/twolayer"
 	"repro/internal/workload"
 )
 
@@ -54,7 +57,7 @@ func parseSize(s string) (int64, error) {
 
 func main() {
 	var (
-		strategy  = flag.String("strategy", "mccio", "mccio | two-phase | independent")
+		stratName = flag.String("strategy", strategy.MCCIO, strategy.List())
 		op        = flag.String("op", "write", "write | read")
 		wlName    = flag.String("workload", "ior", "ior | collperf | tile2d | random | checkpoint")
 		procs     = flag.Int("procs", 120, "number of MPI processes")
@@ -69,7 +72,8 @@ func main() {
 		msgind    = flag.String("msgind", "", "override mccio Msgind (e.g. 4MB)")
 		nah       = flag.Int("nah", 0, "override mccio Nah")
 		calibrate = flag.Bool("calibrate", false, "measure Msgind/Nah/Memmin/Msggroup on the platform (paper §3) and use them")
-		combine   = flag.Bool("combine", false, "enable the two-layer (intra-node/inter-node) exchange")
+		combine   = flag.Bool("combine", false, "enable the rank-order node-combine exchange for mccio")
+		twoLayer  = flag.Bool("twolayer", false, "compose the full two-layer exchange (elected leaders) into mccio's groups")
 		hints     = flag.String("hints", "", "MPI_Info-style hints (overrides -strategy); 'help' lists keys")
 		tracePath = flag.String("trace", "", "record an event trace to FILE (.jsonl = JSON lines, otherwise Chrome trace_event JSON for Perfetto) and print the phase breakdown")
 		explPath  = flag.String("explain", "", "record the planner decision audit and memory timeline to FILE as JSONL (render with mccio-report explain/memtl)")
@@ -117,6 +121,10 @@ func main() {
 	}
 
 	mcfg := cluster.TestbedConfig(nodes)
+	// -cores shapes rank placement too, not just the node count: the
+	// intra/inter traffic split and the two-layer election depend on
+	// which ranks share a node.
+	mcfg.CoresPerNode = *cores
 	mcfg.MemPerNode = mem
 	if *sigmaMB > 0 {
 		mcfg.MemSigma = float64(*sigmaMB*cluster.MB) / float64(mem)
@@ -127,7 +135,7 @@ func main() {
 	fcfg.JitterMean = 12e-3
 	fcfg.Seed = *seed
 
-	s := buildStrategy(*hints, *strategy, *calibrate, *combine, *msgind, *nah, mem, nodes, mcfg, fcfg, wl)
+	s := buildStrategy(*hints, *stratName, *calibrate, *combine, *twoLayer, *msgind, *nah, mem, nodes, mcfg, fcfg, wl)
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -246,8 +254,9 @@ func writeTrace(path string, t *obs.Tracer) error {
 }
 
 // buildStrategy resolves the strategy from hints (when given) or the
-// individual flags.
-func buildStrategy(hints, strategy string, calibrate, combine bool, msgind string, nah int,
+// individual flags. An unknown -strategy is a usage error: exit 2 with
+// the canonical allowed list.
+func buildStrategy(hints, name string, calibrate, combine, twoLayer bool, msgind string, nah int,
 	mem int64, nodes int, mcfg cluster.Config, fcfg pfs.Config, wl workload.Workload) iolib.Collective {
 	if hints != "" {
 		h, err := adio.ParseHints(hints)
@@ -261,8 +270,12 @@ func buildStrategy(hints, strategy string, calibrate, combine bool, msgind strin
 		fmt.Fprintf(os.Stderr, "strategy from hints: %s\n", s.Name())
 		return s
 	}
-	switch strategy {
-	case "mccio":
+	if !strategy.Valid(name) {
+		fmt.Fprintf(os.Stderr, "mccio-sim: unknown strategy %q (want %s)\n", name, strategy.List())
+		os.Exit(2)
+	}
+	switch name {
+	case strategy.MCCIO:
 		opts := core.DefaultOptions(mcfg, fcfg)
 		if calibrate {
 			rep, err := core.Calibrate(mcfg, fcfg)
@@ -273,6 +286,7 @@ func buildStrategy(hints, strategy string, calibrate, combine bool, msgind strin
 			opts = rep.Result
 		}
 		opts.NodeCombine = combine
+		opts.TwoLayer = twoLayer
 		opts.Msggroup = wl.TotalBytes() / int64(max(nodes/2, 1))
 		opts.Memmin = mem / 4
 		if msgind != "" {
@@ -288,13 +302,13 @@ func buildStrategy(hints, strategy string, calibrate, combine bool, msgind strin
 		fmt.Fprintf(os.Stderr, "mccio options: Msgind=%d Msggroup=%d Nah=%d Memmin=%d\n",
 			opts.Msgind, opts.Msggroup, opts.Nah, opts.Memmin)
 		return core.MCCIO{Opts: opts}
-	case "two-phase":
+	case strategy.TwoPhase:
 		return collio.TwoPhase{CBBuffer: mem}
-	case "independent":
+	case strategy.TwoLayer:
+		return twolayer.Strategy{CBBuffer: mem}
+	default: // strategy.Independent
 		return iolib.Naive{Opts: iolib.DefaultSieve()}
 	}
-	fatal(fmt.Errorf("unknown strategy %q", strategy))
-	return nil
 }
 
 // report prints the run summary.
@@ -306,6 +320,9 @@ func report(res trace.Result, wl workload.Workload, nodes, cores int, memStr str
 	fmt.Printf("bandwidth:       %.1f MB/s\n", res.BandwidthMBps())
 	fmt.Printf("rounds:          %d\n", res.Rounds)
 	fmt.Printf("aggregators:     %d in %d groups (%d remerges)\n", res.Aggregators, res.Groups, res.Remerges)
+	if res.Leaders > 0 {
+		fmt.Printf("node leaders:    %d elected (two-layer exchange)\n", res.Leaders)
+	}
 	fmt.Printf("file I/O:        %.1f MB in %d requests\n", float64(res.BytesIO)/1e6, res.IORequests)
 	fmt.Printf("shuffle traffic: %.1f MB intra-node, %.1f MB inter-node\n",
 		float64(res.BytesShuffleIntra)/1e6, float64(res.BytesShuffleInter)/1e6)

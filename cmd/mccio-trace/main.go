@@ -21,6 +21,8 @@ import (
 	"repro/internal/iotrace"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/strategy"
+	"repro/internal/twolayer"
 	"repro/internal/workload"
 )
 
@@ -44,7 +46,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mccio-trace gen  -workload ior|collperf|random|checkpoint [-procs N] [-out FILE]
   mccio-trace stat FILE
-  mccio-trace run  [-strategy mccio|two-phase] [-op write|read] [-mem SIZE] [-trace OUT] FILE
+  mccio-trace run  [-strategy `+strategy.List()+`] [-op write|read] [-mem SIZE] [-trace OUT] FILE
                    (-trace records an event trace: .jsonl = JSON lines, else Chrome JSON)`)
 	os.Exit(2)
 }
@@ -135,7 +137,7 @@ func cmdStat(args []string) {
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	strategy := fs.String("strategy", "mccio", "mccio | two-phase | independent")
+	stratName := fs.String("strategy", strategy.MCCIO, strategy.List())
 	op := fs.String("op", "write", "write | read")
 	memMB := fs.Int64("mem", 8, "nominal aggregation memory per node, MB")
 	cores := fs.Int("cores", 12, "cores per node")
@@ -182,19 +184,23 @@ func cmdRun(args []string) {
 	fcfg.JitterMean = 12e-3
 	fcfg.Seed = *seed
 
+	if !strategy.Valid(*stratName) {
+		fmt.Fprintf(os.Stderr, "mccio-trace: unknown strategy %q (want %s)\n", *stratName, strategy.List())
+		os.Exit(2)
+	}
 	var s iolib.Collective
-	switch *strategy {
-	case "mccio":
+	switch *stratName {
+	case strategy.MCCIO:
 		opts := core.DefaultOptions(mcfg, fcfg)
 		opts.Msggroup = rp.TotalBytes() / int64(maxInt(nodes/2, 1))
 		opts.Memmin = mem / 4
 		s = core.MCCIO{Opts: opts}
-	case "two-phase":
+	case strategy.TwoPhase:
 		s = collio.TwoPhase{CBBuffer: mem}
-	case "independent":
+	case strategy.TwoLayer:
+		s = twolayer.Strategy{CBBuffer: mem}
+	default: // strategy.Independent
 		s = iolib.Naive{Opts: iolib.DefaultSieve()}
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -205,7 +211,7 @@ func cmdRun(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("replayed %s with %s %s on %d nodes x %d cores\n",
-		fs.Arg(0), *strategy, *op, nodes, *cores)
+		fs.Arg(0), *stratName, *op, nodes, *cores)
 	fmt.Println(res.String())
 	if tracer != nil {
 		f, err := os.Create(*traceOut)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iolib"
 	"repro/internal/pfs"
+	"repro/internal/twolayer"
 )
 
 // Hints is a set of MPI_Info-style key/value tuning strings.
@@ -26,7 +27,7 @@ type Hints map[string]string
 
 // Recognized keys and their meaning.
 var knownKeys = map[string]string{
-	"collective":         "strategy selector: mccio | two_phase | independent (default mccio)",
+	"collective":         "strategy selector: mccio | two_phase | two_layer | independent (default mccio)",
 	"cb_buffer_size":     "collective buffer per aggregator in bytes (ROMIO key)",
 	"romio_cb_write":     "enable | disable: disable selects independent I/O (ROMIO key)",
 	"ind_rd_buffer_size": "data-sieving buffer for independent I/O in bytes (ROMIO key)",
@@ -34,7 +35,8 @@ var knownKeys = map[string]string{
 	"mccio_msggroup":     "aggregation-group data volume in bytes (0 = one group)",
 	"mccio_nah":          "max aggregators per node",
 	"mccio_memmin":       "minimum host memory to place an aggregator, bytes",
-	"mccio_node_combine": "true | false: two-layer intra/inter-node exchange",
+	"mccio_node_combine": "true | false: rank-order node-combine exchange",
+	"mccio_two_layer":    "true | false: full two-layer exchange (elected leaders) within each group",
 	"mccio_calibrate":    "true | false: measure Msgind/Nah/Memmin/Msggroup on the platform first",
 	"mccio_no_groups":    "true | false: ablation, disable group division",
 	"mccio_no_mem_aware": "true | false: ablation, disable memory-aware placement",
@@ -138,6 +140,16 @@ func (h Hints) BuildStrategy(mcfg cluster.Config, fcfg pfs.Config, totalBytes in
 		}
 		return collio.TwoPhase{CBBuffer: cb}, nil
 
+	case "two_layer":
+		cb, err := h.getInt64("cb_buffer_size", 16<<20)
+		if err != nil {
+			return nil, err
+		}
+		if cb <= 0 {
+			return nil, fmt.Errorf("adio: cb_buffer_size must be positive, got %d", cb)
+		}
+		return twolayer.Strategy{CBBuffer: cb}, nil
+
 	case "mccio":
 		var opts core.Options
 		calibrate, err := h.getBool("mccio_calibrate")
@@ -193,6 +205,7 @@ func (h Hints) BuildStrategy(mcfg cluster.Config, fcfg pfs.Config, totalBytes in
 		}
 		for _, f := range []flags{
 			{"mccio_node_combine", &opts.NodeCombine},
+			{"mccio_two_layer", &opts.TwoLayer},
 			{"mccio_no_groups", &opts.DisableGroups},
 			{"mccio_no_mem_aware", &opts.DisableMemAware},
 			{"mccio_no_remerge", &opts.DisableRemerge},
@@ -210,5 +223,7 @@ func (h Hints) BuildStrategy(mcfg cluster.Config, fcfg pfs.Config, totalBytes in
 		}
 		return core.MCCIO{Opts: opts}, nil
 	}
-	return nil, fmt.Errorf("adio: unknown collective %q (want mccio | two_phase | independent)", kind)
+	// Two-layer composed into mccio rides the mccio case via the
+	// mccio_two_layer flag; two_layer here is the standalone strategy.
+	return nil, fmt.Errorf("adio: unknown collective %q (want mccio | two_phase | two_layer | independent)", kind)
 }

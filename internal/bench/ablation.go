@@ -7,6 +7,7 @@ import (
 	"repro/internal/collio"
 	"repro/internal/core"
 	"repro/internal/iolib"
+	"repro/internal/twolayer"
 )
 
 // Ablation isolates each MCCIO mechanism on the Figure-7 workload at a
@@ -41,6 +42,7 @@ func Ablation(o Options) (*Table, error) {
 	}
 	add(variant("mccio (full)", nil))
 	add(variant("+ node combining", func(op *core.Options) { op.NodeCombine = true }))
+	add(variant("+ two-layer exchange", func(op *core.Options) { op.TwoLayer = true }))
 	add(variant("no group division", func(op *core.Options) { op.DisableGroups = true }))
 	add(variant("no memory-aware placement", func(op *core.Options) { op.DisableMemAware = true }))
 	add(variant("no remerging", func(op *core.Options) { op.DisableRemerge = true }))
@@ -48,6 +50,7 @@ func Ablation(o Options) (*Table, error) {
 	// Same varied machine for the comparators: the baseline's fixed
 	// buffer is capped by what physically exists on each node.
 	add("two-phase baseline", collio.TwoPhase{CBBuffer: mem}, mccCfg)
+	add("two-layer baseline", twolayer.Strategy{CBBuffer: mem}, mccCfg)
 	add("independent I/O", iolib.Naive{Opts: iolib.DefaultSieve()}, mccCfg)
 
 	t := &Table{

@@ -201,8 +201,8 @@ func TestAblationSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 8 {
-		t.Fatalf("%d ablation rows, want 8", len(tab.Rows))
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d ablation rows, want 10", len(tab.Rows))
 	}
 }
 

@@ -70,6 +70,18 @@ func TestGoldenSweepSeedEngine(t *testing.T) {
 	checkGolden(t, "sweep_seed_engine.json", run, 8)
 }
 
+// TestGoldenStrategiesSeedEngine locks the per-strategy comparison —
+// the rows CI's two-layer gates assert on — to the seed engine,
+// serially and through the worker pool.
+func TestGoldenStrategiesSeedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	run := func(o Options) (*BenchFile, error) { return RunStrategies(o, metrics.New()) }
+	checkGolden(t, "strategies_seed_engine.json", run, 1)
+	checkGolden(t, "strategies_seed_engine.json", run, 8)
+}
+
 // TestGoldenHostMetricsDoNotPerturb proves host-cost recording is an
 // observer: a regression run with HostMetrics on must produce the same
 // simulated columns as the golden, differing only in the two host_*

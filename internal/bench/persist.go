@@ -34,6 +34,10 @@ type BenchRow struct {
 	IOSeconds       float64 `json:"io_s"`
 	AggBufMedian    float64 `json:"agg_buf_median"`
 	AggBufP95       float64 `json:"agg_buf_p95"`
+	// Leaders is the elected node-leader count (two-layer exchange
+	// rows); zero and omitted elsewhere, which keeps rows written
+	// before the field existed byte-identical.
+	Leaders int `json:"leaders,omitempty"`
 
 	// Serve-experiment fields (the plan-service benchmark); zero and
 	// omitted on simulation rows. Wall-clock latency percentiles are
@@ -76,6 +80,7 @@ func RowFromResult(key string, r trace.Result) BenchRow {
 		IOSeconds:       r.IOSeconds,
 		AggBufMedian:    bufs.Median,
 		AggBufP95:       bufs.P95,
+		Leaders:         r.Leaders,
 	}
 }
 

@@ -1,6 +1,8 @@
 package collio
 
 import (
+	"sort"
+
 	"repro/internal/buffer"
 	"repro/internal/datatype"
 	"repro/internal/iolib"
@@ -47,27 +49,43 @@ type rankPiece struct {
 	piece shufflePiece
 }
 
-// combineState holds the static node topology for one collective.
+// combineState holds the node topology for one collective. It is
+// rebuilt after a leader failover changes the plan's leader map.
 type combineState struct {
-	leaderOf []int // comm rank -> leader comm rank (lowest on node)
+	leaderOf []int // comm rank -> leader comm rank
 	mates    []int // my node's comm ranks (only filled for leaders)
-	leaders  []int // distinct leaders in ascending order
+	leaders  []int // distinct leaders in rank-of-first-member order
 	amLeader bool
+	merged   bool                  // elected-leader mode: merge/dedup pieces
 	views    map[int]datatype.List // leader only: mate comm rank -> full view
 }
 
-// newCombineState derives the per-node leader topology.
-func newCombineState(c *mpi.Comm) *combineState {
+// newCombineState derives the per-node leader topology: the plan's
+// elected leader map when present (two-layer strategy), else the
+// legacy lowest-rank-per-node choice.
+func newCombineState(c *mpi.Comm, plan *Plan) *combineState {
 	p := c.Size()
 	cs := &combineState{leaderOf: make([]int, p)}
-	firstOnNode := make(map[int]int)
-	for r := 0; r < p; r++ {
-		node := c.NodeOf(r)
-		if _, ok := firstOnNode[node]; !ok {
-			firstOnNode[node] = r
-			cs.leaders = append(cs.leaders, r)
+	if plan != nil && plan.LeaderOf != nil {
+		cs.merged = true
+		copy(cs.leaderOf, plan.LeaderOf)
+		seen := make(map[int]bool, p)
+		for r := 0; r < p; r++ {
+			if l := cs.leaderOf[r]; !seen[l] {
+				seen[l] = true
+				cs.leaders = append(cs.leaders, l)
+			}
 		}
-		cs.leaderOf[r] = firstOnNode[node]
+	} else {
+		firstOnNode := make(map[int]int)
+		for r := 0; r < p; r++ {
+			node := c.NodeOf(r)
+			if _, ok := firstOnNode[node]; !ok {
+				firstOnNode[node] = r
+				cs.leaders = append(cs.leaders, r)
+			}
+			cs.leaderOf[r] = firstOnNode[node]
+		}
 	}
 	me := c.Rank()
 	cs.amLeader = cs.leaderOf[me] == me
@@ -133,12 +151,71 @@ func combinePieces(pieces []shufflePiece, phantom bool) shufflePiece {
 	return shufflePiece{segs: segs, data: data}
 }
 
+// mergePieces is the elected-leader variant of combinePieces: the
+// node's segments are merge-sorted into file order with adjacent runs
+// coalesced and the payload reordered to match, so the combined wire
+// message carries one run's metadata where ranks on a node wrote
+// interleaved neighbours — Kang et al.'s node-level request merging.
+// Disjointness across ranks (the collective-write contract) makes the
+// sort a pure reordering.
+func mergePieces(pieces []shufflePiece, phantom bool) shufflePiece {
+	if len(pieces) == 1 {
+		return pieces[0]
+	}
+	type segSrc struct {
+		seg   datatype.Segment
+		piece int
+		pos   int64 // byte offset of seg's payload inside its piece
+	}
+	var srcs []segSrc
+	var total int64
+	for pi := range pieces {
+		var pos int64
+		for _, s := range pieces[pi].segs {
+			srcs = append(srcs, segSrc{seg: s, piece: pi, pos: pos})
+			pos += s.Len
+		}
+		total += pieces[pi].data.Len()
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].seg.Off < srcs[j].seg.Off })
+	data := buffer.New(total, phantom)
+	var segs datatype.List
+	var pos int64
+	for _, s := range srcs {
+		buffer.Copy(data.Slice(pos, s.seg.Len), pieces[s.piece].data.Slice(s.pos, s.seg.Len))
+		pos += s.seg.Len
+		if n := len(segs); n > 0 && segs[n-1].End() == s.seg.Off {
+			segs[n-1].Len += s.seg.Len
+		} else {
+			segs = append(segs, s.seg)
+		}
+	}
+	return shufflePiece{segs: segs, data: data}
+}
+
+// windowOfAgg returns the round-r window of the domain aggregated by
+// comm rank agg. ok is false when agg owns no domain or its schedule
+// ended before r — unreachable for a piece actually received from agg,
+// since failover checks run before the exchange at every round.
+func windowOfAgg(plan *Plan, agg, r int) (datatype.Segment, bool) {
+	for _, d := range plan.Domains {
+		if d.Agg == agg {
+			if r < len(d.Windows) {
+				return d.Windows[r], true
+			}
+			return datatype.Segment{}, false
+		}
+	}
+	return datatype.Segment{}, false
+}
+
 // executeWriteCombined is ExecuteWrite with the two-layer exchange.
 func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data buffer.Buf, plan *Plan, m *trace.Metrics) {
 	p := c.Size()
 	me := c.Rank()
 	t := c.Tracer()
 	em := newEngineMetrics(c, "write")
+	sched := c.Faults()
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
@@ -146,7 +223,7 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 	if mine != nil {
 		m.AddAggregator(mine.domain.BufBytes)
 	}
-	cs := newCombineState(c)
+	cs := newCombineState(c, plan)
 	phantom := data.Phantom()
 
 	vals := make([]any, p)
@@ -161,6 +238,20 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		sp.End()
 		if mine != nil {
 			sampleMem(c, r)
+		}
+		if sched != nil {
+			changed := injectRoundFaults(c, sched, plan, r, m, rloc)
+			if lf := maybeLeaderFailover(c, sched, plan, r); len(lf) > 0 {
+				recordLeaderFailovers(c, sched, lf, rloc)
+				changed = true
+			}
+			if changed {
+				// Remerge or leadership handoff changed routing: redo the
+				// request exchange and rebuild the node topology. Collective —
+				// every rank takes this branch for the same rounds.
+				mine = exchangeRequests(c, vi, plan)
+				cs = newCombineState(c, plan)
+			}
 		}
 		clearScratch(vals, bytes, present)
 
@@ -206,6 +297,9 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		sp.EndBytes(packedIntra, 0)
 
 		// Inter-node layer: leaders ship one combined piece per domain.
+		// Elected-leader plans merge the node's segments into file order
+		// (coalescing adjacent runs from different mates) and pay the
+		// reorder pass on the node's memory bus; legacy plans concatenate.
 		var sentIntra, sentInter int64
 		if cs.amLeader {
 			for di := range plan.Domains {
@@ -214,7 +308,15 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 					continue
 				}
 				d := plan.Domains[di]
-				combined := combinePieces(pieces, phantom)
+				var combined shufflePiece
+				if cs.merged {
+					combined = mergePieces(pieces, phantom)
+					if len(pieces) > 1 {
+						chargeAssembly(c, combined.data.Len())
+					}
+				} else {
+					combined = combinePieces(pieces, phantom)
+				}
 				vals[d.Agg] = combined
 				bytes[d.Agg] = combined.wireBytes()
 				i, x := localityOf(c, me, d.Agg, combined.data.Len())
@@ -240,6 +342,9 @@ func executeWriteCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, data 
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
 		em.exchangeSeconds.Add(c.Now() - tExch)
+		if sched != nil {
+			dropPenalty(c, sched, plan, r, rloc)
+		}
 
 		if mine != nil && r < len(mine.domain.Windows) {
 			w := mine.domain.Windows[r]
@@ -309,10 +414,11 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 	me := c.Rank()
 	t := c.Tracer()
 	em := newEngineMetrics(c, "read")
+	sched := c.Faults()
 	loc := traceLoc(c, plan)
 	sp := t.Begin(obs.PhaseReqExchange, loc)
 	mine := exchangeRequests(c, vi, plan)
-	cs := newCombineState(c)
+	cs := newCombineState(c, plan)
 	cs.gatherViews(c, vi)
 	sp.End()
 	if mine != nil {
@@ -332,6 +438,20 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 		sp.End()
 		if mine != nil {
 			sampleMem(c, r)
+		}
+		if sched != nil {
+			changed := injectRoundFaults(c, sched, plan, r, m, rloc)
+			if lf := maybeLeaderFailover(c, sched, plan, r); len(lf) > 0 {
+				recordLeaderFailovers(c, sched, lf, rloc)
+				changed = true
+			}
+			if changed {
+				// See executeWriteCombined; the read path additionally
+				// re-gathers mate views so new leaders can fan out.
+				mine = exchangeRequests(c, vi, plan)
+				cs = newCombineState(c, plan)
+				cs.gatherViews(c, vi)
+			}
 		}
 		clearScratch(vals, bytes, present)
 
@@ -359,39 +479,74 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 				sp = t.Begin(obs.PhaseAssembly, rloc)
 				chargeAssembly(c, cov.TotalBytes())
 
-				// Iterate requesters in rank order so bundles and the
-				// leader fan-out are deterministic.
-				byLeader := make(map[int][]rankPiece)
-				for src := 0; src < p; src++ {
-					segs, ok := mine.othersReq[src]
-					if !ok {
-						continue
+				if cs.merged {
+					// Deduplicated shipping (elected-leader mode): the node's
+					// mates often request overlapping file ranges (halo reads,
+					// shared blocks); ship the *union* of the node's clips once
+					// per node and let the leader replicate locally. Inter-node
+					// payload shrinks by exactly the shared bytes — the
+					// measurable win of the two-layer read path.
+					nodeSegs := make(map[int]datatype.List)
+					for src := 0; src < p; src++ {
+						segs, ok := mine.othersReq[src]
+						if !ok {
+							continue
+						}
+						clip := segs.Clip(w.Off, w.End())
+						if len(clip) == 0 {
+							continue
+						}
+						l := cs.leaderOf[src]
+						nodeSegs[l] = append(nodeSegs[l], clip...)
 					}
-					clip := segs.Clip(w.Off, w.End())
-					if len(clip) == 0 {
-						continue
+					for _, leader := range cs.leaders {
+						segs, ok := nodeSegs[leader]
+						if !ok {
+							continue
+						}
+						union := datatype.Normalize(segs)
+						piece := shufflePiece{segs: union, data: iolib.GatherFromRegion(region, covLo, union)}
+						vals[leader] = piece
+						bytes[leader] = piece.wireBytes()
+						i, x := localityOf(c, me, leader, piece.data.Len())
+						sentIntra += i
+						sentInter += x
 					}
-					piece := shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
-					byLeader[cs.leaderOf[src]] = append(byLeader[cs.leaderOf[src]], rankPiece{rank: src, piece: piece})
-				}
-				for _, leader := range cs.leaders {
-					pieces, ok := byLeader[leader]
-					if !ok {
-						continue
+				} else {
+					// Iterate requesters in rank order so bundles and the
+					// leader fan-out are deterministic.
+					byLeader := make(map[int][]rankPiece)
+					for src := 0; src < p; src++ {
+						segs, ok := mine.othersReq[src]
+						if !ok {
+							continue
+						}
+						clip := segs.Clip(w.Off, w.End())
+						if len(clip) == 0 {
+							continue
+						}
+						piece := shufflePiece{segs: clip, data: iolib.GatherFromRegion(region, covLo, clip)}
+						byLeader[cs.leaderOf[src]] = append(byLeader[cs.leaderOf[src]], rankPiece{rank: src, piece: piece})
 					}
-					var wire int64 = 8
-					for _, rp := range pieces {
-						wire += rp.piece.wireBytes()
+					for _, leader := range cs.leaders {
+						pieces, ok := byLeader[leader]
+						if !ok {
+							continue
+						}
+						var wire int64 = 8
+						for _, rp := range pieces {
+							wire += rp.piece.wireBytes()
+						}
+						vals[leader] = pieces
+						bytes[leader] = wire
+						var payload int64
+						for _, rp := range pieces {
+							payload += rp.piece.data.Len()
+						}
+						i, x := localityOf(c, me, leader, payload)
+						sentIntra += i
+						sentInter += x
 					}
-					vals[leader] = pieces
-					bytes[leader] = wire
-					var payload int64
-					for _, rp := range pieces {
-						payload += rp.piece.data.Len()
-					}
-					i, x := localityOf(c, me, leader, payload)
-					sentIntra += i
-					sentInter += x
 				}
 				sp.EndBytes(cov.TotalBytes(), 0)
 			}
@@ -422,11 +577,52 @@ func executeReadCombined(f *iolib.File, c *mpi.Comm, vi *iolib.ViewIndex, dst bu
 		m.AddExchange(sentIntra, sentInter, c.Now()-tExch)
 		em.shuffle(sentIntra, sentInter)
 		em.exchangeSeconds.Add(c.Now() - tExch)
+		if sched != nil {
+			dropPenalty(c, sched, plan, r, rloc)
+		}
 
 		// Intra-node layer: leaders fan pieces out; every rank knows how
 		// many pieces to expect (one per active domain its view hits).
 		sp = t.Begin(obs.PhaseIntra, rloc)
-		if cs.amLeader {
+		if cs.amLeader && cs.merged {
+			// Each received piece is a node union from one aggregator's
+			// window; re-clip every mate's view against that window to
+			// carve the per-rank pieces locally. The clip equals what the
+			// aggregator would have sent flat, so mates see identical data.
+			var fanned int64
+			for agg, v := range out {
+				if v == nil {
+					continue
+				}
+				piece := v.(shufflePiece)
+				w, ok := windowOfAgg(plan, agg, r)
+				if !ok {
+					continue
+				}
+				lo, hi := piece.segs.Extent()
+				region := buffer.New(hi-lo, phantom)
+				iolib.ScatterIntoRegion(region, lo, piece.segs, piece.data)
+				chargeAssembly(c, piece.data.Len())
+				for _, mate := range cs.mates {
+					clip := cs.views[mate].Clip(w.Off, w.End())
+					if len(clip) == 0 {
+						continue
+					}
+					mdata := iolib.GatherFromRegion(region, lo, clip)
+					if mate == me {
+						vi.Unpack(dst, clip, mdata)
+						continue
+					}
+					mp := shufflePiece{segs: clip, data: mdata}
+					c.SendVal(mate, pieceTag, mp, mp.wireBytes())
+					fanned += mdata.Len()
+				}
+			}
+			if fanned > 0 {
+				m.AddExchange(fanned, 0, 0)
+				em.shuffle(fanned, 0)
+			}
+		} else if cs.amLeader {
 			for _, v := range out {
 				if v == nil {
 					continue

@@ -56,7 +56,7 @@ func TestCombineStateTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Start(func(c *mpi.Comm) {
-		cs := newCombineState(c)
+		cs := newCombineState(c, nil)
 		wantLeader := c.Rank() / 2 * 2
 		if cs.leaderOf[c.Rank()] != wantLeader {
 			t.Errorf("rank %d leader %d, want %d", c.Rank(), cs.leaderOf[c.Rank()], wantLeader)

@@ -178,6 +178,108 @@ func injectRoundFaults(c *mpi.Comm, sched *faults.Schedule, plan *Plan, r int, m
 	return true
 }
 
+// LeaderFoEvent records one leadership-handoff decision of a round's
+// leader check (two-layer plans only).
+type LeaderFoEvent struct {
+	Round  int
+	Node   int // comm node of the failed leader
+	Failed int // comm rank of the failed leader
+	Taker  int // successor comm rank; -1 when no survivor exists on the node
+}
+
+// maybeLeaderFailover runs the round-r leadership check for plans with
+// an elected leader map: a leader whose world rank is failed by this
+// round hands its role — the intra-node funnel plus any file domain it
+// aggregates — to the next surviving rank in its node's election
+// order. Like maybeFailover the decision is a pure function of
+// (schedule, plan, round), guarded by Plan.lfRound so shared plans
+// mutate once; non-empty events mean the caller must redo the request
+// exchange and rebuild its combine state.
+func maybeLeaderFailover(c *mpi.Comm, sched *faults.Schedule, plan *Plan, r int) []LeaderFoEvent {
+	if sched == nil || plan.LeaderOf == nil {
+		return nil
+	}
+	if plan.lfRound > r {
+		return plan.lfLast
+	}
+	plan.lfRound = r + 1
+	var evs []LeaderFoEvent
+	for rank := 0; rank < len(plan.LeaderOf); rank++ {
+		l := plan.LeaderOf[rank]
+		if l != rank || !sched.RankFailedBy(c.WorldRank(l), r) {
+			// Only current leaders (fixed points of the map) are checked;
+			// a demoted ex-leader's failure is old news.
+			continue
+		}
+		taker := -1
+		if plan.LeaderSucc != nil {
+			for _, s := range plan.LeaderSucc[l] {
+				if s != l && !sched.RankFailedBy(c.WorldRank(s), r) {
+					taker = s
+					break
+				}
+			}
+		}
+		evs = append(evs, LeaderFoEvent{Round: r, Node: c.NodeOf(l), Failed: l, Taker: taker})
+		if taker < 0 {
+			// Single-rank node or every mate failed too: the leader keeps
+			// serving degraded — the role has nowhere to go, data still flows.
+			continue
+		}
+		for x := range plan.LeaderOf {
+			if plan.LeaderOf[x] == l {
+				plan.LeaderOf[x] = taker
+			}
+		}
+		// A file domain the failed leader aggregated moves to the first
+		// successor that owns none (one domain per aggregator is an engine
+		// invariant) — same node either way, so the charged buffer and
+		// NodeAvail snapshot remain valid. With no free survivor the
+		// domain stays with the failed rank: degraded, nothing lost.
+		owned := make(map[int]bool, len(plan.Domains))
+		for di := range plan.Domains {
+			if a := plan.Domains[di].Agg; a != l {
+				owned[a] = true
+			}
+		}
+		domTaker := -1
+		if plan.LeaderSucc != nil {
+			for _, s := range plan.LeaderSucc[l] {
+				if s != l && !owned[s] && !sched.RankFailedBy(c.WorldRank(s), r) {
+					domTaker = s
+					break
+				}
+			}
+		}
+		if domTaker >= 0 {
+			for di := range plan.Domains {
+				if plan.Domains[di].Agg == l {
+					plan.Domains[di].Agg = domTaker
+				}
+			}
+		}
+	}
+	plan.lfLast = evs
+	return evs
+}
+
+// recordLeaderFailovers attributes a leader check's events: the taker
+// rank records recovered handoffs, the failed leader records
+// unrecoverable ones — exactly one recorder per event.
+func recordLeaderFailovers(c *mpi.Comm, sched *faults.Schedule, evs []LeaderFoEvent, loc obs.Loc) {
+	for _, ev := range evs {
+		if ev.Taker < 0 {
+			if ev.Failed == c.Rank() {
+				sched.RecordUnrecovered(loc, -1)
+			}
+			continue
+		}
+		if ev.Taker == c.Rank() {
+			sched.RecordLeaderFailover(loc, c.WorldRank(ev.Failed), c.WorldRank(ev.Taker))
+		}
+	}
+}
+
 // dropPenalty models this rank's retransmissions for a round's shuffle
 // exchange: a deterministic per-(group,round,rank) draw decides how
 // many sends were dropped, and the rank sits out the capped

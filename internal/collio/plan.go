@@ -78,6 +78,23 @@ type Plan struct {
 	// combine.go.
 	NodeCombine bool
 
+	// LeaderOf, when non-nil, overrides the combine layer's default
+	// lowest-rank-per-node leader choice: LeaderOf[r] is the comm rank
+	// leading r's node. The two-layer strategy sets it from its
+	// memory-aware election; it also switches the combine layer into
+	// merged-piece mode (leaders coalesce adjacent segments, read
+	// aggregators deduplicate node-shared data). Length must equal the
+	// comm size when set, and every rank of a node must map to the
+	// same leader. nil keeps the legacy lowest-rank behaviour.
+	LeaderOf []int
+
+	// LeaderSucc, when non-nil alongside LeaderOf, is each rank's
+	// node-local succession line: the node's comm ranks in election
+	// order (best score first). Leader failover walks it to hand a
+	// dead leader's role to the next surviving rank on the same node.
+	// Ranks of one node share the same backing slice.
+	LeaderSucc [][]int
+
 	// ExactWrite makes aggregators write each covered run as its own
 	// request instead of read-modify-writing the window extent. A
 	// single global collective may safely RMW its holes (nobody else
@@ -100,6 +117,11 @@ type Plan struct {
 	// finished round r's check before any rank reaches round r+1's.
 	foRound int
 	foLast  []FoEvent
+
+	// Leader-failover guard state, same protocol as foRound/foLast but
+	// for the per-round leadership check (see maybeLeaderFailover).
+	lfRound int
+	lfLast  []LeaderFoEvent
 }
 
 // Validate checks the invariants the engine relies on: one domain per
@@ -130,6 +152,16 @@ func (p *Plan) Validate(commSize int) error {
 	}
 	if len(p.Exts) != commSize {
 		return fmt.Errorf("collio: plan has %d extents for comm of %d", len(p.Exts), commSize)
+	}
+	if p.LeaderOf != nil {
+		if len(p.LeaderOf) != commSize {
+			return fmt.Errorf("collio: plan has %d leader entries for comm of %d", len(p.LeaderOf), commSize)
+		}
+		for r, l := range p.LeaderOf {
+			if l < 0 || l >= commSize {
+				return fmt.Errorf("collio: rank %d leader %d out of comm size %d", r, l, commSize)
+			}
+		}
 	}
 	return nil
 }

@@ -45,11 +45,36 @@ func (tp TwoPhase) BuildPlan(c *mpi.Comm, view datatype.List) *Plan {
 	lo, hi := view.Extent()
 	raw := c.Allgather(Ext{Lo: lo, Hi: hi}, extBytes)
 	exts := make([]Ext, len(raw))
+	empty := true
+	for i, v := range raw {
+		exts[i] = v.(Ext)
+		empty = empty && exts[i].Empty()
+	}
+	if empty { // nobody has data; skip the availability gather
+		return &Plan{Exts: exts, NodeCombine: tp.NodeCombine}
+	}
+
+	// Physically available memory per rank's node, so every rank can
+	// size every aggregator's effective buffer identically.
+	machine := c.World().Machine()
+	availRaw := c.Allgather(machine.Node(c.NodeOf(c.Rank())).Available(), 8)
+	nodeOf := make([]int, c.Size())
+	avail := make([]int64, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		nodeOf[r] = c.NodeOf(r)
+		avail[r] = availRaw[r].(int64)
+	}
+	return tp.PlanFromMeta(exts, nodeOf, avail)
+}
+
+// PlanFromMeta builds the baseline schedule from already-gathered
+// metadata: per-rank extents, each rank's node, and each rank's node
+// availability. The pure core of BuildPlan, shared with the offline
+// plan service.
+func (tp TwoPhase) PlanFromMeta(exts []Ext, nodeOf []int, avail []int64) *Plan {
 	gLo, gHi := int64(0), int64(0)
 	first := true
-	for i, v := range raw {
-		e := v.(Ext)
-		exts[i] = e
+	for _, e := range exts {
 		if e.Empty() {
 			continue
 		}
@@ -66,16 +91,11 @@ func (tp TwoPhase) BuildPlan(c *mpi.Comm, view datatype.List) *Plan {
 		return plan
 	}
 
-	// Physically available memory per rank's node, so every rank can
-	// size every aggregator's effective buffer identically.
-	machine := c.World().Machine()
-	availRaw := c.Allgather(machine.Node(c.NodeOf(c.Rank())).Available(), 8)
-
 	// One aggregator per node: lowest comm rank on each node.
 	var aggs []int
 	lastNode := -1
-	for r := 0; r < c.Size(); r++ {
-		if n := c.NodeOf(r); n != lastNode {
+	for r := 0; r < len(nodeOf); r++ {
+		if n := nodeOf[r]; n != lastNode {
 			aggs = append(aggs, r)
 			lastNode = n
 		}
@@ -97,8 +117,8 @@ func (tp TwoPhase) BuildPlan(c *mpi.Comm, view datatype.List) *Plan {
 			break
 		}
 		buf := tp.CBBuffer
-		if avail := availRaw[agg].(int64); buf > avail {
-			buf = avail
+		if av := avail[agg]; buf > av {
+			buf = av
 		}
 		if buf < BufFloor {
 			buf = BufFloor

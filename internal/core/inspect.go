@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datatype"
 	"repro/internal/trace"
+	"repro/internal/twolayer"
 )
 
 // GroupPlan is the planning outcome for one aggregation group, exposed
@@ -19,6 +20,10 @@ type GroupPlan struct {
 	Placements []*Placement
 	NodeOfRank []int // group rank -> node
 	Remerges   int
+	// Leaders is the group's node-leader election outcome when
+	// Options.TwoLayer composes the two-layer exchange; nil otherwise
+	// (including groups whose nodes all host a single rank).
+	Leaders []twolayer.Leader
 }
 
 // InspectResult is the full static plan MCCIO would compute for a set
@@ -85,6 +90,19 @@ func (mc MCCIO) Inspect(machine *cluster.Machine, views []datatype.List) (*Inspe
 			var pm trace.Metrics
 			gp.Placements = newPlacer(gp.Tree, memberSegs, nodeOfRank, nodeAvail, mc.Opts, &pm, rec, gi).Place()
 			gp.Remerges = pm.Remerges
+			if mc.Opts.TwoLayer {
+				spanOf := make([]int64, len(memberSegs))
+				availOf := make([]int64, len(memberSegs))
+				for r := range memberSegs {
+					if l, h := memberSegs[r].Extent(); h > l {
+						spanOf[r] = h - l
+					}
+					availOf[r] = nodeAvail[nodeOfRank[r]]
+				}
+				if el := twolayer.Elect(nodeOfRank, availOf, spanOf); el.MultiRank {
+					gp.Leaders = el.Leaders
+				}
+			}
 		}
 		res.Plans = append(res.Plans, gp)
 	}
@@ -132,6 +150,13 @@ func (ir *InspectResult) Summary() string {
 			fmt.Fprintf(&b, "    domain [%d,%d) %.2f MB -> group-rank %d (node %d), buffer %.2f MB\n",
 				pl.Leaf.Lo, pl.Leaf.Hi, float64(pl.Leaf.DataBytes)/1e6,
 				pl.Agg, gp.NodeOfRank[pl.Agg], float64(pl.Buf)/1e6)
+		}
+		if len(gp.Leaders) > 0 {
+			fmt.Fprintf(&b, "  node leaders (two-layer):\n")
+			for _, l := range gp.Leaders {
+				fmt.Fprintf(&b, "    node %d -> group-rank %d (Mem_avl %.2f MB, score %d, %d runner(s)-up)\n",
+					l.Node, l.Rank, float64(l.Avail)/1e6, l.Score, len(l.RunnersUp))
+			}
 		}
 	}
 	return b.String()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/trace"
+	"repro/internal/twolayer"
 )
 
 // Options are MCCIO's tunables. The paper determines the first three
@@ -38,8 +39,16 @@ type Options struct {
 	// NodeCombine enables the two-layer exchange: within each node,
 	// ranks funnel shuffle pieces to a node leader over the memory bus
 	// and only leaders cross the fabric — the intra-node/inter-node
-	// coordination the paper's abstract describes.
+	// coordination the paper's abstract describes. Leaders are the
+	// lowest rank per node.
 	NodeCombine bool
+
+	// TwoLayer runs the full two-layer aggregation (Kang et al.,
+	// arXiv:1907.12656) *within each aggregation group*: node leaders
+	// are elected by available memory per group, intra-node pieces are
+	// merged into file order, and read aggregators deduplicate
+	// node-shared data. Supersedes NodeCombine when both are set.
+	TwoLayer bool
 
 	// Ablations.
 	DisableGroups   bool // one global group regardless of Msggroup
@@ -287,6 +296,28 @@ func (mc MCCIO) run(op string, f *iolib.File, c *mpi.Comm, view datatype.List, d
 				})
 			}
 			plan.Rounds = maxRoundsOf(plan)
+
+			// Two-layer composition: elect node leaders within the group
+			// from the same consistent snapshot the placement used, so the
+			// group's exchange runs intra-node funnels under the
+			// memory-conscious domain layout.
+			if mc.Opts.TwoLayer {
+				spanOf := make([]int64, sub.Size())
+				availOf := make([]int64, sub.Size())
+				for r := range memberSegs {
+					if l, h := memberSegs[r].Extent(); h > l {
+						spanOf[r] = h - l
+					}
+					availOf[r] = nodeAvail[nodeOfRank[r]]
+				}
+				if el := twolayer.Elect(nodeOfRank, availOf, spanOf); el.MultiRank {
+					plan.NodeCombine = true
+					plan.LeaderOf = el.LeaderOf
+					plan.LeaderSucc = el.Succ
+					twolayer.Audit(sub, op, colors[c.Rank()], el)
+					m.AddLeaders(len(el.Leaders))
+				}
+			}
 		}
 	}
 	plan = sub.Bcast(0, plan, planWireBytes(plan)).(*collio.Plan)
@@ -335,6 +366,10 @@ func planWireBytes(p *collio.Plan) int64 {
 	n := int64(len(p.Exts)) * 16
 	for _, d := range p.Domains {
 		n += 40 + int64(len(d.Windows))*16
+	}
+	if p.LeaderOf != nil {
+		// Elected leader map plus the node succession lines.
+		n += int64(len(p.LeaderOf)) * 16
 	}
 	return n
 }

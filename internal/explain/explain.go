@@ -64,6 +64,11 @@ const (
 	// aggregator on Node observed Used bytes allocated (Peak high-water)
 	// of Cap capacity at the boundary of Round.
 	KindMemTL = "memtl"
+	// KindLeader is one two-layer leader election: group rank Rank on
+	// Node won the node's intra-node funnel with Score (Mem_avl minus
+	// extent span) and Avail bytes available; RunnersUp lists the losing
+	// mates with their Mem_avl and scores.
+	KindLeader = "leader"
 )
 
 // Remerge variants (Fig 5a / 5b of the paper).
@@ -101,6 +106,9 @@ type Candidate struct {
 	Share int64 `json:"share"`
 	// Aggs is how many aggregators the host already carries.
 	Aggs int `json:"aggs,omitempty"`
+	// Rank is the candidate's comm rank (leader elections only, where
+	// candidates are ranks sharing a node rather than hosts).
+	Rank int `json:"rank,omitempty"`
 }
 
 // Event is one decision-log record. Fields beyond Kind/T/Group are
@@ -170,6 +178,10 @@ type Event struct {
 	Used  int64 `json:"used,omitempty"`
 	Peak  int64 `json:"peak,omitempty"`
 	Cap   int64 `json:"cap,omitempty"`
+
+	// KindLeader payload: the winner's election score (Mem_avl minus
+	// extent span; RunnersUp carries the losers' via Candidate.Share).
+	Score int64 `json:"score,omitempty"`
 }
 
 // Recorder accumulates decision events. The zero of the API is a nil
@@ -377,6 +389,8 @@ type Summary struct {
 	// ones that fell back past the data-owning hosts.
 	Placements       int `json:"placements"`
 	PlacementRetries int `json:"placement_retries"`
+	// Leaders counts two-layer node-leader elections.
+	Leaders int `json:"leaders"`
 	// MemSamples counts round-boundary ledger samples.
 	MemSamples int `json:"mem_samples"`
 }
@@ -406,6 +420,8 @@ func Summarize(events []Event) Summary {
 			if e.Retry {
 				s.PlacementRetries++
 			}
+		case KindLeader:
+			s.Leaders++
 		case KindMemTL:
 			s.MemSamples++
 		}
@@ -421,6 +437,9 @@ func (s Summary) WriteText(w io.Writer) {
 		s.Remerges, s.RemergeSibling, s.RemergeDFS)
 	fmt.Fprintf(w, "  placements:        %d (%d fell back past data-owning hosts)\n",
 		s.Placements, s.PlacementRetries)
+	if s.Leaders > 0 {
+		fmt.Fprintf(w, "  leader elections:  %d\n", s.Leaders)
+	}
 	if s.MemSamples > 0 {
 		fmt.Fprintf(w, "  memory samples:    %d\n", s.MemSamples)
 	}

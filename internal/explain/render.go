@@ -41,7 +41,7 @@ func splitRuns(events []Event) []*runLog {
 		case KindGroups:
 			r := cur()
 			r.plans = append(r.plans, &planLog{groups: e, perGroup: map[int][]Event{}})
-		case KindTree, KindBisect, KindRemerge, KindPlace:
+		case KindTree, KindBisect, KindRemerge, KindPlace, KindLeader:
 			r := cur()
 			if len(r.plans) == 0 {
 				// Tolerate a log whose group-division line was truncated
@@ -277,6 +277,17 @@ func writeWhyTable(w io.Writer, run *runLog) {
 					}
 					rows = append(rows, fmt.Sprintf("  place    g%-3d [%d,%d) -> rank %d @ node %d buf=%d avail=%d headroom=%d%s",
 						e.Group, e.Lo, e.Hi, e.Rank, e.Node, e.Buf, e.Avail, e.Headroom, extra))
+				case KindLeader:
+					extra := ""
+					if len(e.RunnersUp) > 0 {
+						ups := make([]string, len(e.RunnersUp))
+						for i, c := range e.RunnersUp {
+							ups[i] = fmt.Sprintf("rank %d Mem_avl=%d score=%d", c.Rank, c.Avail, c.Share)
+						}
+						extra = " runners-up: " + strings.Join(ups, "; ")
+					}
+					rows = append(rows, fmt.Sprintf("  leader   g%-3d node %d -> rank %d Mem_avl=%d score=%d%s",
+						e.Group, e.Node, e.Rank, e.Avail, e.Score, extra))
 				}
 			}
 		}

@@ -117,3 +117,30 @@ func TestShadeOf(t *testing.T) {
 		t.Errorf("zero-capacity shade = %q, want ?", c)
 	}
 }
+
+// TestRenderExplainLeader covers the two-layer election line: winner
+// with Mem_avl and score, runners-up in election order.
+func TestRenderExplainLeader(t *testing.T) {
+	events := []Event{
+		{Kind: KindGroups, Group: -1, Op: "read", TotalBytes: 100, Msggroup: 100,
+			Groups: []GroupInfo{{First: 0, Last: 3, Nodes: 2, Bytes: 100}}},
+		{Kind: KindLeader, Group: 0, Node: 0, Rank: 1, Avail: 4096, Score: 3000,
+			RunnersUp: []Candidate{{Rank: 0, Node: 0, Avail: 4096, Share: 2500}}},
+		{Kind: KindLeader, Group: 0, Node: 1, Rank: 2, Avail: 8192, Score: 7000},
+	}
+	var buf bytes.Buffer
+	RenderExplain(&buf, events)
+	out := buf.String()
+	for _, want := range []string{
+		"leader   g0   node 0 -> rank 1 Mem_avl=4096 score=3000 runners-up: rank 0 Mem_avl=4096 score=2500",
+		"leader   g0   node 1 -> rank 2 Mem_avl=8192 score=7000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered explain missing %q:\n%s", want, out)
+		}
+	}
+	s := Summarize(events)
+	if s.Leaders != 2 {
+		t.Fatalf("summary leaders = %d, want 2", s.Leaders)
+	}
+}

@@ -81,6 +81,16 @@ type NodeFailure struct {
 	Round int `json:"round"` // engine round the failure lands on
 }
 
+// RankFailure kills a single world rank as a coordination service from
+// the given engine round on. Under the two-layer exchange a failed
+// node leader hands leadership to the next-best-scored surviving rank
+// on its node (see collio's leader failover); like NodeFailure, the
+// rank's own data keeps flowing — what dies is the service role.
+type RankFailure struct {
+	Rank  int `json:"rank"`  // world rank, 0-based
+	Round int `json:"round"` // engine round the failure lands on
+}
+
 // MessageSpec drives the per-message fault draws: each shuffle exchange
 // is dropped with DropRate (costing a retry), and each inter-node
 // message is delayed with DelayRate by an exponential extra latency of
@@ -100,6 +110,7 @@ type Spec struct {
 	SlowOSTs     []SlowOST     `json:"slow_osts,omitempty"`
 	SlowLinks    []SlowLink    `json:"slow_links,omitempty"`
 	NodeFailures []NodeFailure `json:"node_failures,omitempty"`
+	RankFailures []RankFailure `json:"rank_failures,omitempty"`
 	Messages     MessageSpec   `json:"messages"`
 }
 
@@ -148,6 +159,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("faults: node_failures[%d]: node %d round %d", i, n.Node, n.Round)
 		}
 	}
+	for i, r := range s.RankFailures {
+		if r.Rank < 0 || r.Round < 0 {
+			return fmt.Errorf("faults: rank_failures[%d]: rank %d round %d", i, r.Rank, r.Round)
+		}
+	}
 	m := s.Messages
 	if m.DropRate < 0 || m.DropRate > 1 {
 		return fmt.Errorf("faults: drop_rate %g outside [0,1]", m.DropRate)
@@ -191,11 +207,12 @@ func (r RetrySpec) withDefaults() RetrySpec {
 // handles bundles the instrument handles a Schedule resolves once at
 // Bind; all nil (and updates free) without a registry.
 type handles struct {
-	injMem, injNode, injDrop, injDelay, injSlow *metrics.Counter
-	retries                                     *metrics.Counter
-	retrySeconds                                *metrics.Counter
-	foRemerges                                  *metrics.Counter
-	foUnrecovered                               *metrics.Counter
+	injMem, injNode, injRank, injDrop, injDelay, injSlow *metrics.Counter
+	retries                                              *metrics.Counter
+	retrySeconds                                         *metrics.Counter
+	foRemerges                                           *metrics.Counter
+	foLeaders                                            *metrics.Counter
+	foUnrecovered                                        *metrics.Counter
 }
 
 // Schedule is an armed fault plan for one simulation run. Methods are
@@ -247,6 +264,14 @@ func NewSchedule(spec Spec) (*Schedule, error) {
 		}
 		return a.Node < b.Node
 	})
+	spec.RankFailures = append([]RankFailure(nil), spec.RankFailures...)
+	sort.Slice(spec.RankFailures, func(i, j int) bool {
+		a, b := spec.RankFailures[i], spec.RankFailures[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.Rank < b.Rank
+	})
 	return &Schedule{
 		spec:    spec,
 		rng:     stats.NewRNG(spec.Seed ^ 0xfa017),
@@ -275,6 +300,7 @@ func (s *Schedule) Bind(reg *metrics.Registry, t *obs.Tracer) {
 	s.h = handles{
 		injMem:   reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "mem"),
 		injNode:  reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "node"),
+		injRank:  reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "rank"),
 		injDrop:  reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "drop"),
 		injDelay: reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "delay"),
 		injSlow:  reg.Counter("faults_injected_total", "Faults injected, by class.", "class", "slow"),
@@ -283,6 +309,8 @@ func (s *Schedule) Bind(reg *metrics.Registry, t *obs.Tracer) {
 			"Virtual seconds spent in retry backoff."),
 		foRemerges: reg.Counter("failover_remerges_total",
 			"File domains dynamically remerged into a sibling after their aggregator was lost."),
+		foLeaders: reg.Counter("failover_leaders_total",
+			"Node leaderships handed to the next-best rank after a leader failed (two-layer exchange)."),
 		foUnrecovered: reg.Counter("failover_unrecovered_total",
 			"Failed domains with no surviving sibling to absorb them."),
 	}
@@ -304,6 +332,13 @@ func (s *Schedule) Bind(reg *metrics.Registry, t *obs.Tracer) {
 			s.tracer.Instant(obs.EventFaultNode, obs.Loc{Rank: -1, Node: f.Node, Group: -1, Round: -1}, 0, int64(f.Round))
 		}
 	}
+	if k := int64(len(s.spec.RankFailures)); k > 0 {
+		s.h.injRank.Add(float64(k))
+		s.injected += k
+		for _, f := range s.spec.RankFailures {
+			s.tracer.Instant(obs.EventFaultRank, obs.Loc{Rank: f.Rank, Node: -1, Group: -1, Round: -1}, 0, int64(f.Round))
+		}
+	}
 }
 
 // NodeFailedBy reports whether node is failed at (or before) the given
@@ -315,6 +350,21 @@ func (s *Schedule) NodeFailedBy(node, round int) bool {
 	}
 	for _, f := range s.spec.NodeFailures {
 		if f.Node == node && f.Round <= round {
+			return true
+		}
+	}
+	return false
+}
+
+// RankFailedBy reports whether the given world rank is failed at (or
+// before) the given engine round — the leader-failover predicate's
+// input. Pure, so every rank answers identically.
+func (s *Schedule) RankFailedBy(rank, round int) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.spec.RankFailures {
+		if f.Rank == rank && f.Round <= round {
 			return true
 		}
 	}
@@ -487,6 +537,18 @@ func (s *Schedule) RecordFailover(loc obs.Loc, byNodeFailure bool, bytes int64, 
 	s.failovers++
 	s.h.foRemerges.Inc()
 	s.tracer.Instant(obs.EventFailover, loc, bytes, int64(failed))
+}
+
+// RecordLeaderFailover accounts one leadership handoff under the
+// two-layer exchange: the node's next-best rank (taker) took over for
+// a failed leader. Both ranks are world ranks.
+func (s *Schedule) RecordLeaderFailover(loc obs.Loc, failed, taker int) {
+	if s == nil {
+		return
+	}
+	s.failovers++
+	s.h.foLeaders.Inc()
+	s.tracer.Instant(obs.EventFailoverLeader, loc, int64(taker), int64(failed))
 }
 
 // RecordUnrecovered accounts a failed domain no surviving sibling could

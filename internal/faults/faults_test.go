@@ -337,3 +337,43 @@ func TestRetryDefaults(t *testing.T) {
 		t.Errorf("MaxTimeoutSec = %g, want raised to TimeoutSec 0.1", got)
 	}
 }
+
+func TestRankFailedBy(t *testing.T) {
+	s, err := NewSchedule(Spec{RankFailures: []RankFailure{{Rank: 5, Round: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RankFailedBy(5, 1) {
+		t.Error("rank reported failed before its round")
+	}
+	if !s.RankFailedBy(5, 2) || !s.RankFailedBy(5, 6) {
+		t.Error("rank failure must persist from its round on")
+	}
+	if s.RankFailedBy(4, 9) {
+		t.Error("unrelated rank reported failed")
+	}
+	var nilSched *Schedule
+	if nilSched.RankFailedBy(0, 0) {
+		t.Error("nil schedule reported a failed rank")
+	}
+}
+
+func TestRankFailureSpec(t *testing.T) {
+	path := writeSpec(t, `{"seed": 1, "rank_failures": [{"rank": 3, "round": 0}, {"rank": 1, "round": 2}]}`)
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RankFailure{{Rank: 3, Round: 0}, {Rank: 1, Round: 2}}
+	if !reflect.DeepEqual(s.RankFailures, want) {
+		t.Fatalf("parsed rank failures %+v, want %+v", s.RankFailures, want)
+	}
+	for _, bad := range []Spec{
+		{RankFailures: []RankFailure{{Rank: -1, Round: 0}}},
+		{RankFailures: []RankFailure{{Rank: 0, Round: -2}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v: want error, got nil", bad)
+		}
+	}
+}

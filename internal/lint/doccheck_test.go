@@ -20,7 +20,7 @@ import (
 // (sweep, bench, faults) plus the plan service, the observability
 // packages, and their commands.
 var docAuditPackages = []string{
-	"../sweep", "../bench", "../faults",
+	"../sweep", "../bench", "../faults", "../twolayer", "../strategy",
 	"../pland", "../logx", "../prof", "../top", "../explain", "../ring",
 	"../../cmd/mccio-pland", "../../cmd/mccio-loadgen", "../../cmd/mccio-top",
 }

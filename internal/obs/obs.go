@@ -71,6 +71,7 @@ const (
 	EventPartition     Phase = "partition-tree" // Bytes = coverage bytes, Extra = leaf count
 	EventRemerge       Phase = "remerge"        // Extra = remerge count for the group
 	EventPlace         Phase = "place"          // Bytes = buffer bytes, Extra = aggregator rank
+	EventLeader        Phase = "leader-elect"   // Bytes = winner's score, Extra = leader rank
 	EventStripe        Phase = "stripe"         // Bytes = run bytes, Extra = OST index
 )
 
@@ -78,13 +79,15 @@ const (
 // "fault:" events mark injections; the "failover:" events mark the
 // engine's dynamic remerge response.
 const (
-	EventFaultMem     Phase = "fault:mem"            // Bytes = squatted bytes, Extra = round applied
-	EventFaultNode    Phase = "fault:node"           // Loc.Node = failed node, Extra = failure round
-	EventFaultDrop    Phase = "fault:drop"           // Bytes = drops this round, Extra = penalty ns
-	EventFaultDelay   Phase = "fault:delay"          // Bytes = delay ns, Extra = destination node
-	EventFaultSlow    Phase = "fault:slow"           // Bytes = factor x1000, Extra = OST (-1 for links)
-	EventFailover     Phase = "failover:remerge"     // Bytes = window bytes moved, Extra = failed domain
-	EventFailoverLost Phase = "failover:unrecovered" // Extra = failed domain
+	EventFaultMem       Phase = "fault:mem"            // Bytes = squatted bytes, Extra = round applied
+	EventFaultNode      Phase = "fault:node"           // Loc.Node = failed node, Extra = failure round
+	EventFaultRank      Phase = "fault:rank"           // Loc.Rank = failed rank, Extra = failure round
+	EventFaultDrop      Phase = "fault:drop"           // Bytes = drops this round, Extra = penalty ns
+	EventFaultDelay     Phase = "fault:delay"          // Bytes = delay ns, Extra = destination node
+	EventFaultSlow      Phase = "fault:slow"           // Bytes = factor x1000, Extra = OST (-1 for links)
+	EventFailover       Phase = "failover:remerge"     // Bytes = window bytes moved, Extra = failed domain
+	EventFailoverLeader Phase = "failover:leader"      // Bytes = successor rank, Extra = failed leader rank
+	EventFailoverLost   Phase = "failover:unrecovered" // Extra = failed domain
 )
 
 // CounterMem is the per-node memory-ledger counter; Bytes carries the
@@ -100,11 +103,11 @@ func (p Phase) Category() string {
 		return "mpi"
 	case PhasePFSWrite, PhasePFSRead:
 		return "pfs"
-	case EventGroupDivision, EventPartition, EventRemerge, EventPlace, EventStripe:
+	case EventGroupDivision, EventPartition, EventRemerge, EventPlace, EventLeader, EventStripe:
 		return "planner"
-	case EventFaultMem, EventFaultNode, EventFaultDrop, EventFaultDelay, EventFaultSlow:
+	case EventFaultMem, EventFaultNode, EventFaultRank, EventFaultDrop, EventFaultDelay, EventFaultSlow:
 		return "fault"
-	case EventFailover, EventFailoverLost:
+	case EventFailover, EventFailoverLeader, EventFailoverLost:
 		return "failover"
 	case CounterMem:
 		return "mem"

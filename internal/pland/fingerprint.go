@@ -11,7 +11,11 @@ import (
 // fingerprintVersion is hashed into every fingerprint so a change to
 // the canonical encoding (new field, different order) invalidates old
 // keys instead of silently colliding with them.
-const fingerprintVersion = "mccio-plan-fp/1"
+//
+// v2: the strategy name (length-prefixed) and Options.TwoLayer joined
+// the canonical form, so requests differing only in strategy can never
+// share a cache entry.
+const fingerprintVersion = "mccio-plan-fp/2"
 
 // Fingerprint returns the canonical request key: a 128-bit hex digest
 // over the canonical form's fields in a fixed order. Because it hashes
@@ -65,9 +69,16 @@ func (c *canonRequest) Fingerprint() string {
 	wi(int64(c.Options.Nah))
 	wi(c.Options.Memmin)
 	wb(c.Options.NodeCombine)
+	wb(c.Options.TwoLayer)
 	wb(c.Options.DisableGroups)
 	wb(c.Options.DisableMemAware)
 	wb(c.Options.DisableRemerge)
+
+	// The strategy is part of the canonical form: a two-layer plan and
+	// a two-phase plan for the same layout are different artifacts.
+	// Length-prefixed so no strategy name can alias another's encoding.
+	wi(int64(len(c.Strategy)))
+	io.WriteString(h, c.Strategy)
 
 	wi(int64(len(c.Views)))
 	for _, v := range c.Views {

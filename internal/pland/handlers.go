@@ -12,10 +12,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collio"
 	"repro/internal/core"
+	"repro/internal/datatype"
 	"repro/internal/explain"
 	"repro/internal/iolib"
 	"repro/internal/logx"
 	"repro/internal/obs"
+	"repro/internal/strategy"
+	"repro/internal/twolayer"
 	"repro/internal/workload"
 )
 
@@ -59,6 +62,23 @@ type PlanGroup struct {
 	Domains []PlanDomain `json:"domains"`
 }
 
+// PlanLeader is one elected node leader in a plan response (two-layer
+// exchange only).
+type PlanLeader struct {
+	// Group is the aggregation group the election ran in (0 for the
+	// single-group strategies).
+	Group int `json:"group"`
+	// Node is the physical node; Rank the winning group-relative rank.
+	Node int `json:"node"`
+	Rank int `json:"rank"`
+	// MemAvail is the node's available memory at election time and
+	// Score the winner's election score (Mem_avl minus extent span).
+	MemAvail int64 `json:"mem_avail"`
+	Score    int64 `json:"score"`
+	// RunnersUp counts the losing mates on the node.
+	RunnersUp int `json:"runners_up"`
+}
+
 // PlanResponse is the body of a successful POST /v1/plan: the resolved
 // tunables and the full aggregation plan. Serialization is
 // deterministic (structs only, no maps), which is what lets the cache
@@ -67,6 +87,8 @@ type PlanResponse struct {
 	// Fingerprint is the canonical request key the plan is cached
 	// under.
 	Fingerprint string `json:"fingerprint"`
+	// Strategy is the resolved collective strategy the plan is for.
+	Strategy string `json:"strategy"`
 	// Ranks echoes the request's rank count.
 	Ranks int `json:"ranks"`
 	// TotalBytes is the layout's total requested data.
@@ -79,6 +101,10 @@ type PlanResponse struct {
 	Aggregators int `json:"aggregators"`
 	// Remerges is the total remerge count across groups.
 	Remerges int `json:"remerges"`
+	// Leaders lists the elected node leaders when the plan carries the
+	// two-layer exchange (strategy two-layer, or mccio with
+	// Options.TwoLayer); empty otherwise.
+	Leaders []PlanLeader `json:"leaders,omitempty"`
 }
 
 // SimResponse is the body of a successful POST /v1/simulate: the
@@ -184,6 +210,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	canon, err := req.canonicalize()
 	if err != nil {
 		s.fail(w, &rec, http.StatusBadRequest, err.Error(), start)
+		return
+	}
+	if !strategy.Planned(canon.Strategy) {
+		s.fail(w, &rec, http.StatusBadRequest,
+			fmt.Sprintf("pland: strategy %q is not plannable (want %s)", canon.Strategy, strategy.PlannedList()), start)
 		return
 	}
 	fp := canon.Fingerprint()
@@ -351,12 +382,13 @@ func (s *Server) admitPlan(canon *canonRequest, fp string, rec *logx.Record) ([]
 	return o.body, o.err
 }
 
-// buildPlanJSON runs the offline planner (core.MCCIO.Inspect) on a
-// fresh machine built from the canonical request and serializes the
-// resulting plan, plus the decision-count summary GET /debug/explain
-// reports. A planner panic (hostile-but-validated input hitting
-// an internal invariant) is converted to an error so one request
-// cannot take the daemon down.
+// buildPlanJSON runs the offline planner on a fresh machine built from
+// the canonical request and serializes the resulting plan, plus the
+// decision-count summary GET /debug/explain reports. MCCIO plans go
+// through core.MCCIO.Inspect; the flat strategies (two-phase,
+// two-layer) through their comm-free PlanFromMeta builders. A planner
+// panic (hostile-but-validated input hitting an internal invariant) is
+// converted to an error so one request cannot take the daemon down.
 func buildPlanJSON(c *canonRequest, fp string) (body []byte, sum explain.Summary, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -369,17 +401,39 @@ func buildPlanJSON(c *canonRequest, fp string) (body []byte, sum explain.Summary
 	}
 	rec := explain.NewRecorder()
 	machine.SetExplain(rec)
-	mc := core.MCCIO{Opts: c.Options}
-	ir, err := mc.Inspect(machine, c.Views)
+	var resp PlanResponse
+	switch c.Strategy {
+	case strategy.TwoPhase, strategy.TwoLayer:
+		resp, err = flatPlanResponse(c, machine, rec)
+	default:
+		resp, err = mccioPlanResponse(c, machine)
+	}
 	if err != nil {
 		return nil, explain.Summary{}, err
 	}
 	sum = explain.Summarize(rec.Events())
-	resp := PlanResponse{Fingerprint: fp, Ranks: len(c.Views), Options: c.Options}
+	resp.Fingerprint = fp
+	resp.Strategy = c.Strategy
+	resp.Ranks = len(c.Views)
 	for _, v := range c.Views {
 		resp.TotalBytes += v.TotalBytes()
 	}
-	for _, gp := range ir.Plans {
+	body, err = json.Marshal(resp)
+	if err != nil {
+		return nil, explain.Summary{}, err
+	}
+	return append(body, '\n'), sum, nil
+}
+
+// mccioPlanResponse is buildPlanJSON's memory-conscious path.
+func mccioPlanResponse(c *canonRequest, machine *cluster.Machine) (PlanResponse, error) {
+	mc := core.MCCIO{Opts: c.Options}
+	ir, err := mc.Inspect(machine, c.Views)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	resp := PlanResponse{Options: c.Options}
+	for gi, gp := range ir.Plans {
 		pg := PlanGroup{
 			First:         gp.Group.First,
 			Last:          gp.Group.Last,
@@ -398,15 +452,83 @@ func buildPlanJSON(c *canonRequest, fp string) (body []byte, sum explain.Summary
 				BufBytes:  pl.Buf,
 			})
 		}
+		for _, l := range gp.Leaders {
+			resp.Leaders = append(resp.Leaders, PlanLeader{
+				Group: gi, Node: l.Node, Rank: l.Rank,
+				MemAvail: l.Avail, Score: l.Score, RunnersUp: len(l.RunnersUp),
+			})
+		}
 		resp.Aggregators += len(gp.Placements)
 		resp.Remerges += gp.Remerges
 		resp.Groups = append(resp.Groups, pg)
 	}
-	body, err = json.Marshal(resp)
-	if err != nil {
-		return nil, explain.Summary{}, err
+	return resp, nil
+}
+
+// flatPlanResponse is buildPlanJSON's path for the single-group
+// strategies: two-phase (lowest-rank aggregators) and two-layer
+// (memory-elected leaders). Both strategies size their collective
+// buffer from the node's memory, mirroring the simulation path.
+func flatPlanResponse(c *canonRequest, machine *cluster.Machine, rec *explain.Recorder) (PlanResponse, error) {
+	n := len(c.Views)
+	exts := make([]collio.Ext, n)
+	nodeOf := make([]int, n)
+	avail := make([]int64, n)
+	nodes := make(map[int]bool, n)
+	var all datatype.List
+	for r, v := range c.Views {
+		lo, hi := v.Extent()
+		exts[r] = collio.Ext{Lo: lo, Hi: hi}
+		nodeOf[r] = machine.NodeOfRank(r)
+		avail[r] = machine.Node(nodeOf[r]).Available()
+		nodes[nodeOf[r]] = true
+		all = append(all, v...)
 	}
-	return append(body, '\n'), sum, nil
+	coverage := datatype.Normalize(all)
+
+	var plan *collio.Plan
+	resp := PlanResponse{Options: c.Options}
+	if c.Strategy == strategy.TwoLayer {
+		var el *twolayer.Election
+		plan, el = twolayer.Strategy{CBBuffer: c.Cluster.MemPerNode}.PlanFromMeta(exts, nodeOf, avail)
+		if el != nil && el.MultiRank {
+			for _, l := range el.Leaders {
+				resp.Leaders = append(resp.Leaders, PlanLeader{
+					Group: 0, Node: l.Node, Rank: l.Rank,
+					MemAvail: l.Avail, Score: l.Score, RunnersUp: len(l.RunnersUp),
+				})
+				if rec.Enabled() {
+					rec.Record(explain.Event{
+						Kind: explain.KindLeader, Group: 0,
+						Node: l.Node, Rank: l.Rank, Avail: l.Avail, Score: l.Score,
+					})
+				}
+			}
+		}
+	} else {
+		plan = collio.TwoPhase{CBBuffer: c.Cluster.MemPerNode}.PlanFromMeta(exts, nodeOf, avail)
+	}
+
+	pg := PlanGroup{
+		First: 0, Last: n - 1, Nodes: len(nodes),
+		CoverageBytes: coverage.TotalBytes(),
+	}
+	for _, v := range c.Views {
+		pg.Bytes += v.TotalBytes()
+	}
+	for _, d := range plan.Domains {
+		pg.Domains = append(pg.Domains, PlanDomain{
+			Agg:       d.Agg,
+			Node:      nodeOf[d.Agg],
+			Lo:        d.Lo,
+			Hi:        d.Hi,
+			DataBytes: coverage.Clip(d.Lo, d.Hi).TotalBytes(),
+			BufBytes:  d.BufBytes,
+		})
+	}
+	resp.Aggregators = len(plan.Domains)
+	resp.Groups = append(resp.Groups, pg)
+	return resp, nil
 }
 
 // ExplainState is the body of GET /debug/explain: the decision-count
@@ -460,7 +582,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, &rec, http.StatusBadRequest, "bad request body: "+err.Error(), start)
 		return
 	}
-	op, strategy, err := req.validateSim()
+	op, err := req.validateSim()
 	if err != nil {
 		s.fail(w, &rec, http.StatusBadRequest, err.Error(), start)
 		return
@@ -483,7 +605,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	admitted := s.pool.TrySubmit(func() {
 		rec.WaitS = time.Since(submitted).Seconds()
 		t0 := time.Now()
-		resp, err := runSimulation(canon, fp, op, strategy)
+		resp, err := runSimulation(canon, fp, op)
 		rec.WorkS = time.Since(t0).Seconds()
 		if err == nil {
 			s.simRuns.Inc()
@@ -519,17 +641,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // runSimulation executes one collective through bench.RunOnce with a
-// per-run tracer and folds the phase summary into the response.
-func runSimulation(c *canonRequest, fp, op, strategy string) (resp *SimResponse, err error) {
+// per-run tracer and folds the phase summary into the response. The
+// strategy comes from the canonical request; the non-MCCIO collectives
+// size their buffer from the node's memory, like the bench sweeps.
+func runSimulation(c *canonRequest, fp, op string) (resp *SimResponse, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("pland: simulation failed: %v", p)
 		}
 	}()
 	var strat iolib.Collective
-	switch strategy {
-	case "two-phase":
+	switch c.Strategy {
+	case strategy.TwoPhase:
 		strat = collio.TwoPhase{CBBuffer: c.Cluster.MemPerNode}
+	case strategy.TwoLayer:
+		strat = twolayer.Strategy{CBBuffer: c.Cluster.MemPerNode}
+	case strategy.Independent:
+		strat = iolib.Naive{Opts: iolib.DefaultSieve()}
 	default:
 		strat = core.MCCIO{Opts: c.Options}
 	}
@@ -545,7 +673,7 @@ func runSimulation(c *canonRequest, fp, op, strategy string) (resp *SimResponse,
 	}
 	out := &SimResponse{
 		Fingerprint:   fp,
-		Strategy:      strategy,
+		Strategy:      c.Strategy,
 		Op:            op,
 		BandwidthMBps: res.BandwidthMBps(),
 		Elapsed:       res.Elapsed,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/pfs"
+	"repro/internal/strategy"
 )
 
 // Extent is one file run of a rank's request layout on the wire:
@@ -32,6 +33,14 @@ type PlanRequest struct {
 	// Options are the MCCIO tunables; nil derives them from the
 	// platform.
 	Options *core.Options `json:"options,omitempty"`
+	// Strategy selects the collective strategy the request is about;
+	// empty means "mccio". /v1/plan serves the plannable strategies
+	// (mccio, two-phase, two-layer); /v1/simulate additionally accepts
+	// "independent". The non-MCCIO strategies use Cluster.MemPerNode as
+	// their collective buffer. The strategy is part of the request
+	// fingerprint, so plans cached for one strategy can never be served
+	// for another.
+	Strategy string `json:"strategy,omitempty"`
 	// Ranks holds one extent list per rank — the request layout.
 	// Extents may arrive unsorted, overlapping, or split at arbitrary
 	// points; canonicalization normalizes them, so semantically
@@ -40,15 +49,11 @@ type PlanRequest struct {
 }
 
 // SimRequest is the body of POST /v1/simulate: a plan request plus the
-// operation and strategy to run through the collective I/O engine.
+// operation to run through the collective I/O engine.
 type SimRequest struct {
 	PlanRequest
 	// Op is "write" or "read"; empty means "write".
 	Op string `json:"op,omitempty"`
-	// Strategy is "mccio" or "two-phase"; empty means "mccio". The
-	// two-phase baseline uses Cluster.MemPerNode as its collective
-	// buffer.
-	Strategy string `json:"strategy,omitempty"`
 }
 
 // canonRequest is a plan request after canonicalization: defaults
@@ -56,10 +61,11 @@ type SimRequest struct {
 // requests that mean the same thing canonicalize to equal values, and
 // the fingerprint is computed over this form only.
 type canonRequest struct {
-	Cluster cluster.Config
-	FS      pfs.Config
-	Options core.Options
-	Views   []datatype.List
+	Cluster  cluster.Config
+	FS       pfs.Config
+	Options  core.Options
+	Strategy string // resolved: never empty after canonicalization
+	Views    []datatype.List
 }
 
 // maxRequestRanks bounds the per-request rank count so a hostile body
@@ -94,6 +100,13 @@ func (r *PlanRequest) canonicalize() (*canonRequest, error) {
 	if err := c.Options.Validate(); err != nil {
 		return nil, err
 	}
+	c.Strategy = r.Strategy
+	if c.Strategy == "" {
+		c.Strategy = strategy.MCCIO
+	}
+	if !strategy.Valid(c.Strategy) {
+		return nil, fmt.Errorf("pland: unknown strategy %q (want %s)", r.Strategy, strategy.List())
+	}
 	c.Views = make([]datatype.List, len(r.Ranks))
 	for i, exts := range r.Ranks {
 		segs := make([]datatype.Segment, 0, len(exts))
@@ -112,20 +125,15 @@ func (r *PlanRequest) canonicalize() (*canonRequest, error) {
 }
 
 // validateSim checks the simulate-only fields and returns the resolved
-// op and strategy names.
-func (r *SimRequest) validateSim() (op, strategy string, err error) {
-	op, strategy = r.Op, r.Strategy
+// op. (Strategy lives on the embedded PlanRequest and is resolved and
+// validated by canonicalization.)
+func (r *SimRequest) validateSim() (op string, err error) {
+	op = r.Op
 	if op == "" {
 		op = "write"
 	}
-	if strategy == "" {
-		strategy = "mccio"
-	}
 	if op != "write" && op != "read" {
-		return "", "", fmt.Errorf("pland: unknown op %q (want write or read)", r.Op)
+		return "", fmt.Errorf("pland: unknown op %q (want write or read)", r.Op)
 	}
-	if strategy != "mccio" && strategy != "two-phase" {
-		return "", "", fmt.Errorf("pland: unknown strategy %q (want mccio or two-phase)", r.Strategy)
-	}
-	return op, strategy, nil
+	return op, nil
 }

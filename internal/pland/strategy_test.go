@@ -1,0 +1,209 @@
+package pland
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/strategy"
+)
+
+// TestFingerprintStrategySeparation is the cache-isolation property:
+// requests differing only in the strategy field must never share a
+// fingerprint (and therefore never share a cache slot), across every
+// strategy and across many layouts.
+func TestFingerprintStrategySeparation(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		off := int64(i) * 4096
+		ln := int64(64<<10 + i*512)
+		base := testRequest([][]Extent{{{off, ln}}, {{off + 1<<24, ln}}})
+		seen := make(map[string]string, len(strategy.Names()))
+		for _, s := range strategy.Names() {
+			r := base
+			r.Strategy = s
+			key := fp(t, r)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("layout %d: strategies %q and %q share fingerprint %s", i, prev, s, key)
+			}
+			seen[key] = s
+		}
+	}
+}
+
+// TestFingerprintStrategyDefaultSpelling checks the other half of the
+// contract: an empty strategy and an explicit "mccio" are the same
+// request and must share a slot.
+func TestFingerprintStrategyDefaultSpelling(t *testing.T) {
+	base := testRequest([][]Extent{{{0, 1 << 20}}})
+	explicit := base
+	explicit.Strategy = strategy.MCCIO
+	if fp(t, base) != fp(t, explicit) {
+		t.Fatal("spelling out the default strategy changed the fingerprint")
+	}
+}
+
+// TestFingerprintTwoLayerOption checks that composing the two-layer
+// exchange into mccio via Options.TwoLayer keys its own cache slot.
+func TestFingerprintTwoLayerOption(t *testing.T) {
+	base := testRequest([][]Extent{{{0, 1 << 20}}})
+	if err := base.Cluster.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(base.Cluster, base.FS)
+	plain, composed := base, base
+	plain.Options = &opts
+	tl := opts
+	tl.TwoLayer = true
+	composed.Options = &tl
+	if fp(t, plain) == fp(t, composed) {
+		t.Fatal("Options.TwoLayer did not change the fingerprint")
+	}
+}
+
+// TestCanonicalizeRejectsUnknownStrategy checks validation happens
+// before any planning work, with the allowed list in the message.
+func TestCanonicalizeRejectsUnknownStrategy(t *testing.T) {
+	r := testRequest([][]Extent{{{0, 4096}}})
+	r.Strategy = "three-phase"
+	if _, err := r.canonicalize(); err == nil {
+		t.Fatal("unknown strategy canonicalized")
+	} else if !strings.Contains(err.Error(), strategy.List()) {
+		t.Fatalf("error %q does not list the allowed strategies", err)
+	}
+}
+
+// multiRankRequest builds a plan request whose cluster hosts several
+// ranks per node, so the two-layer election has mates to choose from:
+// 2 nodes x 2 ranks.
+func multiRankRequest() PlanRequest {
+	mc := cluster.TestbedConfig(2)
+	mc.MemPerNode = 16 * cluster.MiB
+	mc.CoresPerNode = 2
+	ranks := make([][]Extent, 4)
+	for r := range ranks {
+		ranks[r] = []Extent{{int64(r) << 20, 1 << 20}}
+	}
+	return PlanRequest{Cluster: mc, FS: pfs.DefaultConfig(), Ranks: ranks}
+}
+
+// TestPlanStrategies drives /v1/plan across the plannable strategies
+// and checks the strategy-specific response shape: mccio plans carry
+// groups, two-layer plans carry one elected leader per occupied node,
+// and the unplannable "independent" is refused with the allowed list.
+func TestPlanStrategies(t *testing.T) {
+	srv := startServer(t, Config{})
+	url := "http://" + srv.Addr() + "/v1/plan"
+
+	planFor := func(s string) PlanResponse {
+		t.Helper()
+		req := multiRankRequest()
+		req.Strategy = s
+		body, _ := json.Marshal(req)
+		resp, data := post(t, url, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s plan: %d %s", s, resp.StatusCode, data)
+		}
+		var pr PlanResponse
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Strategy != s {
+			t.Fatalf("echoed strategy %q, want %q", pr.Strategy, s)
+		}
+		return pr
+	}
+
+	two := planFor(strategy.TwoLayer)
+	if len(two.Leaders) != 2 {
+		t.Fatalf("two-layer leaders = %d, want one per occupied node (2): %+v", len(two.Leaders), two.Leaders)
+	}
+	nodes := map[int]bool{}
+	for _, l := range two.Leaders {
+		if nodes[l.Node] {
+			t.Fatalf("node %d elected two leaders", l.Node)
+		}
+		nodes[l.Node] = true
+		if l.RunnersUp != 1 {
+			t.Fatalf("leader %+v: runners_up = %d, want 1 on a 2-rank node", l, l.RunnersUp)
+		}
+	}
+	if len(two.Groups) != 1 || two.Ranks != 4 {
+		t.Fatalf("implausible two-layer plan: %+v", two)
+	}
+
+	flat := planFor(strategy.TwoPhase)
+	if len(flat.Leaders) != 0 {
+		t.Fatalf("two-phase plan reports leaders: %+v", flat.Leaders)
+	}
+
+	mcc := planFor(strategy.MCCIO)
+	if len(mcc.Groups) == 0 || mcc.Aggregators == 0 {
+		t.Fatalf("implausible mccio plan: %+v", mcc)
+	}
+
+	fps := map[string]string{two.Fingerprint: "two-layer", flat.Fingerprint: "two-phase"}
+	if prev, dup := fps[mcc.Fingerprint]; dup {
+		t.Fatalf("mccio shares a fingerprint with %s", prev)
+	}
+
+	// Independent I/O has no collective plan to serve.
+	req := multiRankRequest()
+	req.Strategy = strategy.Independent
+	body, _ := json.Marshal(req)
+	resp, data := post(t, url, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("independent plan: %d, want 400", resp.StatusCode)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &er); err != nil || !strings.Contains(er.Error, strategy.PlannedList()) {
+		t.Fatalf("error body %s does not list the plannable strategies", data)
+	}
+
+	// Unknown strategies are refused on both endpoints.
+	req.Strategy = "bogus"
+	body, _ = json.Marshal(req)
+	if resp, _ := post(t, url, body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy plan: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSimulateStrategies drives /v1/simulate across all four
+// strategies: every one runs, echoes its name, and reports plausible
+// bandwidth; the two-layer run reports elected leaders.
+func TestSimulateStrategies(t *testing.T) {
+	srv := startServer(t, Config{})
+	url := "http://" + srv.Addr() + "/v1/simulate"
+
+	for _, s := range strategy.Names() {
+		req := SimRequest{PlanRequest: multiRankRequest(), Op: "write"}
+		req.Strategy = s
+		body, _ := json.Marshal(req)
+		resp, data := post(t, url, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s simulate: %d %s", s, resp.StatusCode, data)
+		}
+		var sr SimResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Strategy != s {
+			t.Fatalf("echoed strategy %q, want %q", sr.Strategy, s)
+		}
+		if sr.BandwidthMBps <= 0 || sr.Bytes != 4<<20 {
+			t.Fatalf("%s: implausible simulation: %+v", s, sr)
+		}
+	}
+
+	req := SimRequest{PlanRequest: multiRankRequest(), Op: "read"}
+	req.Strategy = "bogus"
+	body, _ := json.Marshal(req)
+	if resp, _ := post(t, url, body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy simulate: %d, want 400", resp.StatusCode)
+	}
+}

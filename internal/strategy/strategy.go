@@ -1,0 +1,73 @@
+// Package strategy is the canonical enumeration of collective-I/O
+// strategy names. Every layer that selects a strategy by name — the
+// simulator and trace CLI flag parsing, the bench experiment grids, the
+// plan service's request decoding, the adio hint translation — resolves
+// and validates names through this package, so the allowed list lives
+// in exactly one place and usage strings, HTTP errors, and exit
+// messages can never drift apart.
+//
+// The package is a leaf: it imports nothing from the repo, so any
+// layer (planner, engine, serving, benches) can depend on it without
+// cycles.
+package strategy
+
+import "strings"
+
+// The strategy names, in canonical presentation order.
+const (
+	// MCCIO is the memory-conscious strategy (internal/core): group
+	// division, partition-tree file domains, memory-aware aggregator
+	// placement with remerging.
+	MCCIO = "mccio"
+	// TwoPhase is the ROMIO-style baseline (internal/collio): one
+	// aggregator per node chosen by lowest rank, the file extent split
+	// evenly by offset.
+	TwoPhase = "two-phase"
+	// TwoLayer is the intra-node request aggregation strategy
+	// (internal/twolayer), after Kang et al. 2019: ranks funnel round
+	// pieces to a node-local leader elected by available memory; only
+	// leaders join the inter-node shuffle.
+	TwoLayer = "two-layer"
+	// Independent is per-rank POSIX-style I/O with data sieving
+	// (internal/iolib), no collective coordination at all.
+	Independent = "independent"
+)
+
+// Names returns every selectable strategy in canonical order. The
+// returned slice is fresh; callers may mutate it.
+func Names() []string {
+	return []string{MCCIO, TwoPhase, TwoLayer, Independent}
+}
+
+// Valid reports whether name is a known strategy.
+func Valid(name string) bool {
+	switch name {
+	case MCCIO, TwoPhase, TwoLayer, Independent:
+		return true
+	}
+	return false
+}
+
+// List renders the allowed names for usage strings and error messages:
+// "mccio | two-phase | two-layer | independent".
+func List() string {
+	return strings.Join(Names(), " | ")
+}
+
+// Planned reports whether name has a planning stage the plan service
+// can serve offline via /v1/plan — every strategy except independent,
+// which has no collective plan to inspect.
+func Planned(name string) bool {
+	return Valid(name) && name != Independent
+}
+
+// PlannedList renders the /v1/plan-servable names for error messages.
+func PlannedList() string {
+	var out []string
+	for _, n := range Names() {
+		if Planned(n) {
+			out = append(out, n)
+		}
+	}
+	return strings.Join(out, " | ")
+}

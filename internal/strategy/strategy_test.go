@@ -1,0 +1,40 @@
+package strategy
+
+import "testing"
+
+func TestNamesValidAndList(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("expected 4 strategies, got %v", names)
+	}
+	for _, n := range names {
+		if !Valid(n) {
+			t.Errorf("Valid(%q) = false for enumerated name", n)
+		}
+	}
+	for _, bad := range []string{"", "twophase", "two_layer", "MCCIO", "romio"} {
+		if Valid(bad) {
+			t.Errorf("Valid(%q) = true", bad)
+		}
+	}
+	if got, want := List(), "mccio | two-phase | two-layer | independent"; got != want {
+		t.Errorf("List() = %q, want %q", got, want)
+	}
+}
+
+func TestPlannedExcludesIndependent(t *testing.T) {
+	if Planned(Independent) {
+		t.Error("independent should not be plan-servable")
+	}
+	for _, n := range []string{MCCIO, TwoPhase, TwoLayer} {
+		if !Planned(n) {
+			t.Errorf("Planned(%q) = false", n)
+		}
+	}
+	if Planned("nope") {
+		t.Error("Planned should reject unknown names")
+	}
+	if got, want := PlannedList(), "mccio | two-phase | two-layer"; got != want {
+		t.Errorf("PlannedList() = %q, want %q", got, want)
+	}
+}

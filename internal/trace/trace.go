@@ -22,6 +22,7 @@ type Metrics struct {
 	Rounds      int   // two-phase rounds executed (max across aggregators)
 	Aggregators int   // distinct aggregator processes
 	Groups      int   // aggregation groups (1 for the baseline)
+	Leaders     int   // elected node leaders (two-layer exchange; 0 otherwise)
 	Remerges    int   // file domains remerged for lack of memory
 	BytesIO     int64 // bytes moved to/from the file system
 	IORequests  int64 // requests issued to the file system
@@ -91,6 +92,17 @@ func (m *Metrics) SetGroups(n int) {
 	m.Groups = n
 }
 
+// AddLeaders records a plan's elected node-leader count (two-layer
+// exchange). Exactly one rank per plan — its root — calls this, so the
+// sum across ranks (see Merge) is the operation's total leader count
+// even when several group plans run concurrently.
+func (m *Metrics) AddLeaders(n int) {
+	if m == nil {
+		return
+	}
+	m.Leaders += n
+}
+
 // AggBufferStats summarises per-aggregator buffer sizes; the paper's
 // "reduces aggregator memory consumption and variance" claim is checked
 // on Mean and CV.
@@ -121,6 +133,7 @@ func (m *Metrics) Merge(o Metrics) {
 		m.Remerges = o.Remerges
 	}
 	m.Aggregators += o.Aggregators
+	m.Leaders += o.Leaders
 	m.BytesIO += o.BytesIO
 	m.IORequests += o.IORequests
 	m.BytesShuffleIntra += o.BytesShuffleIntra

@@ -1,0 +1,97 @@
+package twolayer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// rep replicates one per-node value across that node's ranks, building
+// the allgathered avail vector Elect consumes.
+func rep(vals ...int64) []int64 { return vals }
+
+func TestElectHighestScoreWins(t *testing.T) {
+	// One node, three ranks, equal memory: the rank with the smallest
+	// extent span has the highest Avail-Span score and must lead.
+	el := Elect([]int{0, 0, 0}, rep(100, 100, 100), []int64{50, 10, 30})
+	if len(el.Leaders) != 1 {
+		t.Fatalf("leaders = %d, want 1", len(el.Leaders))
+	}
+	l := el.Leaders[0]
+	if l.Rank != 1 || l.Score != 90 || l.Avail != 100 {
+		t.Fatalf("leader = %+v, want rank 1 score 90", l)
+	}
+	if want := []int{1, 1, 1}; !reflect.DeepEqual(el.LeaderOf, want) {
+		t.Fatalf("LeaderOf = %v, want %v", el.LeaderOf, want)
+	}
+	if !el.MultiRank {
+		t.Fatal("MultiRank = false on a 3-rank node")
+	}
+}
+
+func TestElectMemoryDominates(t *testing.T) {
+	// Two ranks on different-memory snapshots of the same node vector:
+	// the rank seeing more available memory wins even with a larger span.
+	el := Elect([]int{0, 0}, rep(200, 120), []int64{60, 10})
+	if got := el.Leaders[0].Rank; got != 0 {
+		t.Fatalf("leader rank = %d, want 0 (score 140 beats 110)", got)
+	}
+}
+
+func TestElectTieGoesToLowestRank(t *testing.T) {
+	el := Elect([]int{0, 0, 0, 0}, rep(64, 64, 64, 64), []int64{8, 8, 8, 8})
+	if got := el.Leaders[0].Rank; got != 0 {
+		t.Fatalf("tie broke to rank %d, want lowest rank 0", got)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(el.Succ[2], want) {
+		t.Fatalf("Succ = %v, want rank order %v on a full tie", el.Succ[2], want)
+	}
+}
+
+func TestElectSuccessionOrder(t *testing.T) {
+	// Succession is the node's ranks in election order, best score
+	// first, and all mates share the same line.
+	el := Elect([]int{0, 0, 0}, rep(100, 100, 100), []int64{30, 10, 20})
+	want := []int{1, 2, 0} // scores 90 > 80 > 70
+	for r := 0; r < 3; r++ {
+		if !reflect.DeepEqual(el.Succ[r], want) {
+			t.Fatalf("Succ[%d] = %v, want %v", r, el.Succ[r], want)
+		}
+	}
+	if got := len(el.Leaders[0].RunnersUp); got != 2 {
+		t.Fatalf("runners-up = %d, want 2", got)
+	}
+	if el.Leaders[0].RunnersUp[0].Rank != 2 {
+		t.Fatalf("best runner-up rank = %d, want 2", el.Leaders[0].RunnersUp[0].Rank)
+	}
+}
+
+func TestElectMultiNodeMapping(t *testing.T) {
+	// Two nodes, two ranks each: elections are independent per node and
+	// LeaderOf maps every rank to its own node's winner.
+	nodeOf := []int{0, 0, 1, 1}
+	avail := []int64{100, 100, 80, 80}
+	span := []int64{40, 10, 5, 30}
+	el := Elect(nodeOf, avail, span)
+	if len(el.Leaders) != 2 {
+		t.Fatalf("leaders = %d, want 2", len(el.Leaders))
+	}
+	if el.Leaders[0].Node != 0 || el.Leaders[0].Rank != 1 {
+		t.Fatalf("node 0 leader = %+v, want rank 1", el.Leaders[0])
+	}
+	if el.Leaders[1].Node != 1 || el.Leaders[1].Rank != 2 {
+		t.Fatalf("node 1 leader = %+v, want rank 2", el.Leaders[1])
+	}
+	if want := []int{1, 1, 2, 2}; !reflect.DeepEqual(el.LeaderOf, want) {
+		t.Fatalf("LeaderOf = %v, want %v", el.LeaderOf, want)
+	}
+}
+
+func TestElectSingleRankPerNode(t *testing.T) {
+	el := Elect([]int{0, 1, 2}, rep(10, 20, 30), []int64{1, 2, 3})
+	if el.MultiRank {
+		t.Fatal("MultiRank = true with one rank per node")
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(el.LeaderOf, want) {
+		t.Fatalf("LeaderOf = %v, want identity %v", el.LeaderOf, want)
+	}
+}
